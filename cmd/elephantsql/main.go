@@ -1,0 +1,95 @@
+// Command elephantsql is a small interactive SQL shell over the engine. It
+// optionally pre-loads TPC-H data so the paper's queries can be typed
+// directly, and it prints the chosen physical plan and I/O statistics after
+// every query — which is the quickest way to see the effect of the c-table
+// and materialized-view designs.
+//
+// Usage:
+//
+//	elephantsql -tpch 0.01
+//	> SELECT l_suppkey, COUNT(*) FROM lineitem WHERE l_shipdate > DATE '1997-01-01' GROUP BY l_suppkey;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"oldelephant/internal/engine"
+	"oldelephant/internal/tpch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("elephantsql: ")
+	var (
+		sf   = flag.Float64("tpch", 0, "pre-load TPC-H core tables at this scale factor (0 = start empty)")
+		cold = flag.Bool("cold", true, "reset the buffer pool before every query (cold-cache timings)")
+	)
+	flag.Parse()
+	e := engine.Default()
+	if *sf > 0 {
+		fmt.Printf("loading TPC-H at sf=%g...\n", *sf)
+		if err := tpch.NewGenerator(*sf).LoadCore(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("oldelephant SQL shell — terminate statements with ';', exit with \\q")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "\\q" || trimmed == "exit" || trimmed == "quit" {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			fmt.Print("... ")
+			continue
+		}
+		stmt := strings.TrimSpace(buf.String())
+		buf.Reset()
+		run(e, stmt, *cold)
+		fmt.Print("> ")
+	}
+}
+
+func run(e *engine.Engine, stmt string, cold bool) {
+	if cold {
+		e.ResetBufferPool()
+	}
+	res, err := e.Execute(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		fmt.Println(strings.Repeat("-", 4*len(res.Columns)+8))
+		const maxRows = 50
+		for i, row := range res.Rows {
+			if i >= maxRows {
+				fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+				break
+			}
+			parts := make([]string, len(row))
+			for j, v := range row {
+				parts[j] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+	}
+	fmt.Printf("(%d rows, %v, %d pages read: %d sequential / %d random)\n",
+		res.Stats.RowsReturned, res.Stats.Wall.Round(10_000),
+		res.Stats.IO.PageReads, res.Stats.IO.SeqReads, res.Stats.IO.RandReads)
+	if res.Plan != "" {
+		fmt.Println("plan:", res.Plan)
+	}
+}

@@ -1,0 +1,144 @@
+// Package elephant is the public API of the reproduction of "Teaching an
+// Old Elephant New Tricks" (Nicolas Bruno, CIDR 2009).
+//
+// The package wraps a from-scratch row-store engine (SQL parser, planner,
+// B+-tree storage, Volcano executor) and the paper's two techniques for
+// emulating a column store inside it without engine changes:
+//
+//   - materialized views (the Row(MV) strategy of Section 2.1), via
+//     CreateMaterializedView and QueryUsingViews;
+//   - c-tables plus mechanical query rewriting (the Row(Col) strategy of
+//     Section 2.2), via BuildCTableDesign and NewRewriter;
+//
+// together with the column-store simulator used for the paper's ColOpt lower
+// bound and the benchmark harness that regenerates the evaluation
+// (Figure 2 and the three summary tables). See README.md for a tour and
+// the examples/ directory for runnable programs.
+package elephant
+
+import (
+	"oldelephant/internal/bench"
+	"oldelephant/internal/colstore"
+	"oldelephant/internal/core/ctable"
+	"oldelephant/internal/core/matview"
+	"oldelephant/internal/core/rewrite"
+	"oldelephant/internal/engine"
+	"oldelephant/internal/tpch"
+	"oldelephant/internal/value"
+)
+
+// DB is a single-process database instance: a row store with clustered and
+// secondary covering indexes, a SQL front end and per-query I/O statistics.
+type DB struct {
+	*engine.Engine
+	views *matview.Manager
+}
+
+// Options configure a database instance.
+type Options struct {
+	// TupleOverhead is the per-tuple storage overhead in bytes (default 9,
+	// the figure the paper quotes for its row store).
+	TupleOverhead int
+	// BufferPoolPages bounds the buffer pool; 0 keeps every page resident.
+	BufferPoolPages int
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	if opts.TupleOverhead == 0 {
+		opts.TupleOverhead = -1 // engine default
+	}
+	e := engine.New(engine.Options{TupleOverhead: opts.TupleOverhead, BufferPoolPages: opts.BufferPoolPages})
+	return &DB{Engine: e, views: matview.NewManager(e)}
+}
+
+// Result is the outcome of a query: column labels, rows, the chosen physical
+// plan and execution statistics (wall time, page I/O).
+type Result = engine.Result
+
+// Value is a SQL scalar value.
+type Value = value.Value
+
+// Row is one result row.
+type Row = []value.Value
+
+// LoadTPCH generates and loads the TPC-H tables used by the paper's workload
+// (customer, orders, lineitem) at the given scale factor.
+func (db *DB) LoadTPCH(scaleFactor float64) error {
+	return tpch.NewGenerator(scaleFactor).LoadCore(db.Engine)
+}
+
+// LoadTPCHFull generates and loads all eight TPC-H tables.
+func (db *DB) LoadTPCHFull(scaleFactor float64) error {
+	return tpch.NewGenerator(scaleFactor).LoadAll(db.Engine)
+}
+
+// CreateMaterializedView defines and populates a materialized view
+// (equivalent to executing CREATE MATERIALIZED VIEW name AS query).
+func (db *DB) CreateMaterializedView(name, query string) error {
+	return db.views.Create(name, query)
+}
+
+// QueryUsingViews answers a SELECT using a matching materialized view when
+// one exists (the Row(MV) strategy); the boolean reports whether a view was
+// used. Queries that no view can answer fall back to the base tables.
+func (db *DB) QueryUsingViews(query string) (*Result, bool, error) {
+	return db.views.Query(query)
+}
+
+// Views exposes the materialized-view manager for advanced use (refresh,
+// inspection of the rewriting).
+func (db *DB) Views() *matview.Manager { return db.views }
+
+// CTableDesign is a materialized c-table design (the paper's D1, D2, D4).
+type CTableDesign = ctable.Design
+
+// BuildCTableDesign materializes the c-tables for the result of sourceSQL
+// sorted by sortColumns (the Row(Col) physical design of Section 2.2.1).
+// Each column of the design becomes a table named <name>_<column> with a
+// clustered index on f and a covering secondary index on v.
+func (db *DB) BuildCTableDesign(name, sourceSQL string, columns, sortColumns []string) (*CTableDesign, error) {
+	return ctable.NewBuilder(db.Engine).Build(name, sourceSQL, columns, sortColumns)
+}
+
+// Rewriter mechanically translates base-table queries onto a c-table design
+// (Section 2.2.2), including the range-collapse optimization of Figure 4(b).
+type Rewriter = rewrite.Rewriter
+
+// NewRewriter returns a rewriter for a design built by BuildCTableDesign.
+func NewRewriter(design *CTableDesign) *Rewriter { return rewrite.New(design) }
+
+// ColumnProjection is a compressed, column-wise stored projection used to
+// compute the paper's ColOpt lower bound.
+type ColumnProjection = colstore.Projection
+
+// BuildColumnProjection materializes a compressed column-store projection of
+// the result of sourceSQL (RLE / dictionary / raw encodings chosen per column).
+func (db *DB) BuildColumnProjection(name, sourceSQL string, columns []string, kinds []value.Kind, sortColumns []string) (*ColumnProjection, error) {
+	res, err := db.Engine.Query(sourceSQL)
+	if err != nil {
+		return nil, err
+	}
+	return colstore.BuildProjection(name, columns, kinds, sortColumns, res.Rows)
+}
+
+// Benchmark types re-exported for the harness that reproduces the paper's
+// evaluation; see the bench package for details.
+type (
+	// BenchConfig configures the experiment harness.
+	BenchConfig = bench.Config
+	// BenchHarness owns the loaded database and all physical designs.
+	BenchHarness = bench.Harness
+	// Measurement is one (query, strategy, parameter) data point.
+	Measurement = bench.Measurement
+	// Strategy is one of Row, Row(MV), Row(Col), ColOpt.
+	Strategy = bench.Strategy
+)
+
+// NewBenchHarness builds the full experimental setup of the paper: TPC-H at
+// cfg.SF, the materialized views, the c-table designs D1/D2/D4 and the
+// column-store projections for ColOpt.
+func NewBenchHarness(cfg BenchConfig) (*BenchHarness, error) { return bench.NewHarness(cfg) }
+
+// DefaultBenchConfig returns the configuration used by the checked-in benchmarks.
+func DefaultBenchConfig() BenchConfig { return bench.DefaultConfig() }

@@ -1,0 +1,99 @@
+package elephant
+
+import (
+	"strings"
+	"testing"
+
+	"oldelephant/internal/value"
+)
+
+// TestPublicAPIEndToEnd walks the public facade the way the README does:
+// open a database, load TPC-H, run a query under all three row-store
+// strategies, and check they agree.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := Open(Options{})
+	if err := db.LoadTPCH(0.001); err != nil {
+		t.Fatal(err)
+	}
+	q3 := "SELECT l_suppkey, COUNT(*) FROM lineitem WHERE l_shipdate > DATE '1995-06-01' GROUP BY l_suppkey"
+
+	// Plain row store.
+	row, err := db.Query(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Columns) != 2 {
+		t.Fatalf("columns = %v", row.Columns)
+	}
+
+	// Row(MV): a generalized materialized view answers the query.
+	if err := db.CreateMaterializedView("mv23",
+		"SELECT l_shipdate, l_suppkey, COUNT(*) AS cnt FROM lineitem GROUP BY l_shipdate, l_suppkey"); err != nil {
+		t.Fatal(err)
+	}
+	mv, usedView, err := db.QueryUsingViews(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usedView {
+		t.Fatal("expected the view to answer Q3")
+	}
+
+	// Row(Col): c-tables plus rewriting.
+	design, err := db.BuildCTableDesign("d1", "SELECT l_shipdate, l_suppkey FROM lineitem",
+		[]string{"l_shipdate", "l_suppkey"}, []string{"l_shipdate", "l_suppkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := NewRewriter(design)
+	rewritten, err := rw.RewriteSQL(q3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rewritten, "d1_l_suppkey") {
+		t.Errorf("rewriting does not reference the c-table: %s", rewritten)
+	}
+	col, err := db.Query(rewritten)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(row.Rows) != len(mv.Rows) || len(row.Rows) != len(col.Rows) {
+		t.Fatalf("strategies disagree: Row=%d Row(MV)=%d Row(Col)=%d", len(row.Rows), len(mv.Rows), len(col.Rows))
+	}
+
+	// ColOpt: the compressed projection is a fraction of the row footprint.
+	proj, err := db.BuildColumnProjection("p1", "SELECT l_shipdate, l_suppkey FROM lineitem",
+		[]string{"l_shipdate", "l_suppkey"}, []value.Kind{value.KindDate, value.KindInt},
+		[]string{"l_shipdate", "l_suppkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := db.Catalog().Table("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.TotalPages() >= int64(li.DataPages()) {
+		t.Errorf("compressed projection (%d pages) should be smaller than the table (%d pages)",
+			proj.TotalPages(), li.DataPages())
+	}
+}
+
+func TestBenchHarnessViaPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness construction in short mode")
+	}
+	cfg := DefaultBenchConfig()
+	cfg.SF = 0.001
+	h, err := NewBenchHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := h.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "Q7") {
+		t.Errorf("summary incomplete: %s", summary)
+	}
+}

@@ -1,0 +1,62 @@
+// This example reproduces the Section 2.2.3 "additional index-based
+// strategies" discussion: a query whose predicates are on columns deep in
+// the sort order (c and d of a table sorted by a, b, c, d). A C-store must
+// either scan those columns or seek once per (a, b) combination; with
+// c-tables the covering v indexes answer each predicate directly and the
+// band join intersects the qualifying position ranges.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	elephant "oldelephant"
+	"oldelephant/internal/value"
+)
+
+func main() {
+	db := elephant.Open(elephant.Options{})
+	if _, err := db.Execute("CREATE TABLE wide (a INT, b INT, c INT, d INT, PRIMARY KEY (a, b, c, d))"); err != nil {
+		log.Fatal(err)
+	}
+	var rows []elephant.Row
+	for i := 0; i < 50000; i++ {
+		rows = append(rows, elephant.Row{
+			value.NewInt(int64(i / 2500)),
+			value.NewInt(int64(i / 250 % 10)),
+			value.NewInt(int64(i % 100)),
+			value.NewInt(int64(i % 61)),
+		})
+	}
+	if err := db.BulkLoad("wide", rows); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.BuildCTableDesign("w", "SELECT a, b, c, d FROM wide",
+		[]string{"a", "b", "c", "d"}, []string{"a", "b", "c", "d"}); err != nil {
+		log.Fatal(err)
+	}
+
+	rowQuery := "SELECT a, b, c, d FROM wide WHERE c = 10 AND d = 20"
+	ctableQuery := `SELECT TC.v, TD.v, TC.f, TC.c
+	                FROM w_c TC, w_d TD
+	                WHERE TC.v = 10 AND TD.v = 20
+	                  AND TD.f BETWEEN TC.f AND TC.f + TC.c - 1`
+
+	db.ResetBufferPool()
+	direct, err := db.Query(rowQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.ResetBufferPool()
+	viaCTables, err := db.Query(ctableQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("predicates on columns deep in the sort order (c = 10 AND d = 20)")
+	fmt.Printf("%-28s %8s %12s\n", "strategy", "rows", "pages read")
+	fmt.Printf("%-28s %8d %12d\n", "row store (clustered scan)", len(direct.Rows), direct.Stats.IO.PageReads)
+	fmt.Printf("%-28s %8d %12d\n", "c-tables (v-index seeks)", len(viaCTables.Rows), viaCTables.Stats.IO.PageReads)
+	fmt.Println("\nrow-store plan: ", direct.Plan)
+	fmt.Println("c-table plan:   ", viaCTables.Plan)
+}

@@ -1,0 +1,63 @@
+// Quickstart: open a database, create a table, insert rows, run queries,
+// and look at plans and I/O statistics through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	elephant "oldelephant"
+)
+
+func main() {
+	db := elephant.Open(elephant.Options{})
+
+	must := func(q string) *elephant.Result {
+		res, err := db.Execute(q)
+		if err != nil {
+			log.Fatalf("%s\n  -> %v", q, err)
+		}
+		return res
+	}
+
+	// Schema with a clustered (primary) key and a covering secondary index.
+	must(`CREATE TABLE sales (
+		day DATE, region VARCHAR(16), product INT, amount DOUBLE,
+		PRIMARY KEY (day, region))`)
+	must(`CREATE INDEX ix_product ON sales (product) INCLUDE (amount)`)
+
+	// A few rows via plain SQL.
+	must(`INSERT INTO sales VALUES
+		(DATE '2008-01-01', 'EMEA', 1, 100.0),
+		(DATE '2008-01-01', 'AMER', 2, 250.0),
+		(DATE '2008-01-02', 'EMEA', 1, 75.0),
+		(DATE '2008-01-02', 'APAC', 3, 310.0),
+		(DATE '2008-01-03', 'AMER', 1, 42.0)`)
+
+	// An aggregate query; the planner picks a clustered seek and stream
+	// aggregation because the predicate and grouping follow the clustered key.
+	res := must(`SELECT day, COUNT(*), SUM(amount)
+	             FROM sales WHERE day >= DATE '2008-01-02' GROUP BY day`)
+	fmt.Println("columns:", res.Columns)
+	for _, row := range res.Rows {
+		fmt.Println("  ", row[0], row[1], row[2])
+	}
+	fmt.Println("plan:   ", res.Plan)
+	fmt.Printf("I/O:     %d pages (%d sequential, %d random), %v\n\n",
+		res.Stats.IO.PageReads, res.Stats.IO.SeqReads, res.Stats.IO.RandReads, res.Stats.Wall)
+
+	// The covering index answers this one without touching the base table.
+	res = must(`SELECT product, SUM(amount) FROM sales WHERE product = 1 GROUP BY product`)
+	fmt.Println("covering-index query plan:", res.Plan)
+
+	// TPC-H in one call, then one of the paper's queries.
+	if err := db.LoadTPCH(0.001); err != nil {
+		log.Fatal(err)
+	}
+	res = must(`SELECT l_shipdate, COUNT(*) FROM lineitem
+	            WHERE l_shipdate > DATE '1998-06-01' GROUP BY l_shipdate LIMIT 5`)
+	fmt.Printf("\nTPC-H Q1 (first %d groups):\n", len(res.Rows))
+	for _, row := range res.Rows {
+		fmt.Println("  ", row[0], row[1])
+	}
+}

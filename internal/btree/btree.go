@@ -1,0 +1,534 @@
+// Package btree implements a page-backed B+-tree used for clustered and
+// secondary indexes. Keys are order-preserving byte strings (produced by
+// value.EncodeKey); payloads are opaque byte strings. Leaves are linked for
+// range scans, and all node accesses go through the storage pager so the
+// benchmark harness can account for index I/O.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"oldelephant/internal/storage"
+)
+
+// BTree is a B+-tree rooted at a page. Duplicate keys are allowed; entries
+// with equal keys are returned in insertion order.
+type BTree struct {
+	pager    *storage.Pager
+	root     storage.PageID
+	height   int
+	count    int64
+	overhead int // per-leaf-entry overhead bytes, emulating the row header
+}
+
+// entry is one (key, payload) pair inside a node. In internal nodes the
+// payload is an 8-byte child page id.
+type entry struct {
+	key []byte
+	val []byte
+}
+
+// New creates an empty tree. overhead is the per-leaf-entry byte overhead
+// (pass a negative value for storage.DefaultTupleOverhead, 0 for none).
+func New(pager *storage.Pager, overhead int) *BTree {
+	if overhead < 0 {
+		overhead = storage.DefaultTupleOverhead
+	}
+	t := &BTree{pager: pager, overhead: overhead}
+	root := pager.Allocate()
+	writeNode(root, true, nil, 0)
+	t.root = root.ID()
+	t.height = 1
+	return t
+}
+
+// Count returns the number of entries in the tree.
+func (t *BTree) Count() int64 { return t.count }
+
+// Height returns the number of levels (1 = a single leaf).
+func (t *BTree) Height() int { return t.height }
+
+// RootPage returns the page id of the root node.
+func (t *BTree) RootPage() storage.PageID { return t.root }
+
+// NumLeafPages walks the leaf chain and returns its length. Intended for
+// statistics and tests; it performs I/O.
+func (t *BTree) NumLeafPages() int {
+	id := t.firstLeaf()
+	n := 0
+	for id != storage.InvalidPageID {
+		n++
+		pg := t.pager.Get(id)
+		_, _, next := readNode(pg)
+		id = storage.PageID(next)
+	}
+	return n
+}
+
+// Node layout. The page Aux word stores, for leaves, the next-leaf page id;
+// for internal nodes, the id of the leftmost child (covering keys below the
+// first separator). The first byte of every record is a leaf marker so the
+// node kind is self-describing; remaining record bytes are
+// uvarint(keyLen) || key || payload.
+const (
+	recLeaf     byte = 1
+	recInternal byte = 2
+)
+
+func writeNode(pg *storage.Page, isLeaf bool, entries []entry, extra uint64) bool {
+	marker := recInternal
+	if isLeaf {
+		marker = recLeaf
+	}
+	// Serialize every entry before touching the page: the entries frequently
+	// alias the very page being rewritten (they come from readNode).
+	recs := make([][]byte, len(entries))
+	for i, e := range entries {
+		rec := make([]byte, 0, 1+10+len(e.key)+len(e.val))
+		rec = append(rec, marker)
+		rec = binary.AppendUvarint(rec, uint64(len(e.key)))
+		rec = append(rec, e.key...)
+		rec = append(rec, e.val...)
+		recs[i] = rec
+	}
+	data := pg.Data()
+	for i := range data {
+		data[i] = 0
+	}
+	reinit(pg)
+	pg.SetAux(extra)
+	for _, rec := range recs {
+		if _, ok := pg.InsertRecord(rec, 0); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// reinit restores the empty slotted-page header on a zeroed page.
+func reinit(pg *storage.Page) {
+	data := pg.Data()
+	binary.LittleEndian.PutUint16(data[0:2], 0)  // slots
+	binary.LittleEndian.PutUint16(data[2:4], 14) // free start
+	binary.LittleEndian.PutUint16(data[4:6], 0)  // free end = PageSize sentinel
+}
+
+func readNode(pg *storage.Page) (isLeaf bool, entries []entry, extra uint64) {
+	extra = pg.Aux()
+	n := pg.NumSlots()
+	entries = make([]entry, 0, n)
+	isLeaf = true
+	for i := 0; i < n; i++ {
+		rec := pg.Record(i)
+		if rec == nil {
+			continue
+		}
+		isLeaf = rec[0] == recLeaf
+		klen, sz := binary.Uvarint(rec[1:])
+		keyStart := 1 + sz
+		key := rec[keyStart : keyStart+int(klen)]
+		val := rec[keyStart+int(klen):]
+		entries = append(entries, entry{key: key, val: val})
+	}
+	return isLeaf, entries, extra
+}
+
+// entrySize returns the on-page footprint of an entry, including the leaf
+// overhead when applicable.
+func (t *BTree) entrySize(e entry, isLeaf bool) int {
+	size := 1 + uvarintLen(uint64(len(e.key))) + len(e.key) + len(e.val) + 4 // +slot
+	if isLeaf {
+		size += t.overhead
+	}
+	return size
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// usableBytes is the payload capacity of a node page.
+const usableBytes = storage.PageSize - 64
+
+// nodeFits reports whether the entries fit in one page.
+func (t *BTree) nodeFits(entries []entry, isLeaf bool) bool {
+	total := 0
+	for _, e := range entries {
+		total += t.entrySize(e, isLeaf)
+	}
+	return total <= usableBytes
+}
+
+// Insert adds a (key, payload) entry. Keys need not be unique.
+func (t *BTree) Insert(key, val []byte) error {
+	if len(key)+len(val) > usableBytes/4 {
+		return fmt.Errorf("btree: entry of %d bytes is too large", len(key)+len(val))
+	}
+	promoted, newChild, err := t.insertInto(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if newChild != storage.InvalidPageID {
+		// Root split: create a new root with the old root as leftmost child.
+		newRoot := t.pager.Allocate()
+		ents := []entry{{key: promoted, val: childPayload(newChild)}}
+		writeNode(newRoot, false, ents, uint64(t.root))
+		t.root = newRoot.ID()
+		t.height++
+	}
+	t.count++
+	return nil
+}
+
+func childPayload(id storage.PageID) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(id))
+	return buf[:]
+}
+
+func childID(val []byte) storage.PageID {
+	return storage.PageID(binary.LittleEndian.Uint64(val))
+}
+
+// insertInto inserts into the subtree rooted at id. If the node splits it
+// returns the separator key and the new right sibling's page id.
+func (t *BTree) insertInto(id storage.PageID, key, val []byte) ([]byte, storage.PageID, error) {
+	pg := t.pager.Get(id)
+	isLeaf, entries, extra := readNode(pg)
+	if isLeaf {
+		pos := upperBound(entries, key)
+		entries = append(entries, entry{})
+		copy(entries[pos+1:], entries[pos:])
+		entries[pos] = entry{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
+		if t.nodeFits(entries, true) {
+			writeNode(pg, true, entries, extra)
+			t.pager.MarkDirty(id)
+			return nil, storage.InvalidPageID, nil
+		}
+		// Split the leaf. The separator must be copied before the left page is
+		// rewritten because the entries alias the page's memory.
+		mid := len(entries) / 2
+		sep := append([]byte(nil), entries[mid].key...)
+		right := t.pager.Allocate()
+		writeNode(right, true, entries[mid:], extra) // right inherits next pointer
+		writeNode(pg, true, entries[:mid], uint64(right.ID()))
+		t.pager.MarkDirty(id)
+		return sep, right.ID(), nil
+	}
+	// Internal node: find child covering key.
+	childIdx := -1 // -1 means leftmost child (extra)
+	for i := range entries {
+		if bytes.Compare(entries[i].key, key) <= 0 {
+			childIdx = i
+		} else {
+			break
+		}
+	}
+	var child storage.PageID
+	if childIdx == -1 {
+		child = storage.PageID(extra)
+	} else {
+		child = childID(entries[childIdx].val)
+	}
+	promoted, newChild, err := t.insertInto(child, key, val)
+	if err != nil || newChild == storage.InvalidPageID {
+		return nil, storage.InvalidPageID, err
+	}
+	// Insert the separator after childIdx.
+	ins := entry{key: promoted, val: childPayload(newChild)}
+	pos := childIdx + 1
+	entries = append(entries, entry{})
+	copy(entries[pos+1:], entries[pos:])
+	entries[pos] = ins
+	if t.nodeFits(entries, false) {
+		writeNode(pg, false, entries, extra)
+		t.pager.MarkDirty(id)
+		return nil, storage.InvalidPageID, nil
+	}
+	// Split the internal node: middle key moves up.
+	mid := len(entries) / 2
+	sep := append([]byte(nil), entries[mid].key...)
+	right := t.pager.Allocate()
+	writeNode(right, false, entries[mid+1:], uint64(childID(entries[mid].val)))
+	writeNode(pg, false, entries[:mid], extra)
+	t.pager.MarkDirty(id)
+	return sep, right.ID(), nil
+}
+
+// upperBound returns the index of the first entry whose key is strictly
+// greater than key (so equal keys keep insertion order).
+func upperBound(entries []entry, key []byte) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(entries[mid].key, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBound returns the index of the first entry whose key is >= key.
+func lowerBound(entries []entry, key []byte) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(entries[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Delete removes the first entry with exactly the given key and payload
+// prefix (payload may be nil to match any). It returns true if an entry was
+// removed. Nodes are not rebalanced: the workload is read-mostly and
+// underfull nodes only waste space, never correctness.
+func (t *BTree) Delete(key []byte) bool {
+	id := t.leafFor(key)
+	for id != storage.InvalidPageID {
+		pg := t.pager.Get(id)
+		_, entries, extra := readNode(pg)
+		for i := range entries {
+			cmp := bytes.Compare(entries[i].key, key)
+			if cmp > 0 {
+				return false
+			}
+			if cmp == 0 {
+				entries = append(entries[:i], entries[i+1:]...)
+				writeNode(pg, true, entries, extra)
+				t.pager.MarkDirty(id)
+				t.count--
+				return true
+			}
+		}
+		id = storage.PageID(extra)
+	}
+	return false
+}
+
+// leafFor descends to the first leaf that may contain key. Routing uses a
+// strict comparison so that, with duplicate keys split across leaves, the
+// leftmost occurrence is always reachable (iterators follow leaf links).
+func (t *BTree) leafFor(key []byte) storage.PageID {
+	id := t.root
+	for {
+		pg := t.pager.Get(id)
+		isLeaf, entries, extra := readNode(pg)
+		if isLeaf {
+			return id
+		}
+		childIdx := -1
+		for i := range entries {
+			if bytes.Compare(entries[i].key, key) < 0 {
+				childIdx = i
+			} else {
+				break
+			}
+		}
+		if childIdx == -1 {
+			id = storage.PageID(extra)
+		} else {
+			id = childID(entries[childIdx].val)
+		}
+	}
+}
+
+// firstLeaf returns the leftmost leaf page.
+func (t *BTree) firstLeaf() storage.PageID {
+	id := t.root
+	for {
+		pg := t.pager.Get(id)
+		isLeaf, _, extra := readNode(pg)
+		if isLeaf {
+			return id
+		}
+		id = storage.PageID(extra)
+	}
+}
+
+// Iterator walks leaf entries in key order.
+type Iterator struct {
+	tree     *BTree
+	leaf     storage.PageID
+	entries  []entry
+	pos      int
+	stopKey  []byte // exclusive upper bound when stopExcl, inclusive otherwise
+	stopIncl bool
+	done     bool
+}
+
+// Key returns the current entry's key. Valid only after Next reported true.
+func (it *Iterator) Key() []byte { return it.entries[it.pos-1].key }
+
+// Value returns the current entry's payload. Valid only after Next reported true.
+func (it *Iterator) Value() []byte { return it.entries[it.pos-1].val }
+
+// Next advances the iterator and reports whether an entry is available.
+func (it *Iterator) Next() bool {
+	if it.done {
+		return false
+	}
+	for {
+		if it.pos < len(it.entries) {
+			e := it.entries[it.pos]
+			if it.stopKey != nil {
+				cmp := bytes.Compare(e.key, it.stopKey)
+				if cmp > 0 || (cmp == 0 && !it.stopIncl) {
+					it.done = true
+					return false
+				}
+			}
+			it.pos++
+			return true
+		}
+		if it.leaf == storage.InvalidPageID {
+			it.done = true
+			return false
+		}
+		pg := it.tree.pager.Get(it.leaf)
+		_, entries, extra := readNode(pg)
+		it.entries = entries
+		it.pos = 0
+		it.leaf = storage.PageID(extra)
+		if len(entries) == 0 && it.leaf == storage.InvalidPageID {
+			it.done = true
+			return false
+		}
+	}
+}
+
+// Scan returns an iterator over the whole tree in key order.
+func (t *BTree) Scan() *Iterator {
+	return &Iterator{tree: t, leaf: t.firstLeaf()}
+}
+
+// Seek returns an iterator positioned at the first entry with key >= start.
+// If stop is non-nil the iteration ends at stop (inclusive when stopIncl).
+func (t *BTree) Seek(start, stop []byte, stopIncl bool) *Iterator {
+	it := &Iterator{tree: t, stopKey: stop, stopIncl: stopIncl}
+	if start == nil {
+		it.leaf = t.firstLeaf()
+		return it
+	}
+	leafID := t.leafFor(start)
+	pg := t.pager.Get(leafID)
+	_, entries, extra := readNode(pg)
+	pos := lowerBound(entries, start)
+	it.entries = entries
+	it.pos = pos
+	it.leaf = storage.PageID(extra)
+	return it
+}
+
+// Get returns the payload of the first entry matching key exactly.
+func (t *BTree) Get(key []byte) ([]byte, bool) {
+	it := t.Seek(key, key, true)
+	if it.Next() {
+		return it.Value(), true
+	}
+	return nil, false
+}
+
+// BulkLoad builds the tree from entries that are already sorted by key,
+// replacing the current contents. It packs leaves to fillFactor (0 < f <= 1)
+// and builds the internal levels bottom-up; this is the fast path used by
+// table loading and c-table construction. It returns an error if the input
+// is not sorted.
+func (t *BTree) BulkLoad(next func() (key, val []byte, ok bool), fillFactor float64) error {
+	if fillFactor <= 0 || fillFactor > 1 {
+		fillFactor = 1.0
+	}
+	target := int(float64(usableBytes) * fillFactor)
+	var (
+		leafIDs   []storage.PageID
+		firstKeys [][]byte
+		cur       []entry
+		curSize   int
+		prevKey   []byte
+		n         int64
+	)
+	flushLeaf := func() {
+		pg := t.pager.Allocate()
+		writeNode(pg, true, cur, 0)
+		if len(leafIDs) > 0 {
+			prev := t.pager.Get(leafIDs[len(leafIDs)-1])
+			prev.SetAux(uint64(pg.ID()))
+		}
+		leafIDs = append(leafIDs, pg.ID())
+		if len(cur) > 0 {
+			firstKeys = append(firstKeys, append([]byte(nil), cur[0].key...))
+		} else {
+			firstKeys = append(firstKeys, nil)
+		}
+		cur = nil
+		curSize = 0
+	}
+	for {
+		key, val, ok := next()
+		if !ok {
+			break
+		}
+		if prevKey != nil && bytes.Compare(key, prevKey) < 0 {
+			return fmt.Errorf("btree: bulk load input not sorted")
+		}
+		prevKey = append(prevKey[:0], key...)
+		e := entry{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
+		sz := t.entrySize(e, true)
+		if curSize+sz > target && len(cur) > 0 {
+			flushLeaf()
+		}
+		cur = append(cur, e)
+		curSize += sz
+		n++
+	}
+	flushLeaf()
+	t.count = n
+	// Build internal levels.
+	level := leafIDs
+	keys := firstKeys
+	t.height = 1
+	for len(level) > 1 {
+		var nextLevel []storage.PageID
+		var nextKeys [][]byte
+		i := 0
+		for i < len(level) {
+			// Each internal node gets as many children as fit.
+			leftmost := level[i]
+			nodeFirstKey := keys[i]
+			i++
+			var ents []entry
+			size := 0
+			for i < len(level) {
+				e := entry{key: keys[i], val: childPayload(level[i])}
+				sz := t.entrySize(e, false)
+				if size+sz > target && len(ents) > 0 {
+					break
+				}
+				ents = append(ents, e)
+				size += sz
+				i++
+			}
+			pg := t.pager.Allocate()
+			writeNode(pg, false, ents, uint64(leftmost))
+			nextLevel = append(nextLevel, pg.ID())
+			nextKeys = append(nextKeys, nodeFirstKey)
+		}
+		level = nextLevel
+		keys = nextKeys
+		t.height++
+	}
+	t.root = level[0]
+	return nil
+}

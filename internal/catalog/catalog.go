@@ -1,0 +1,660 @@
+// Package catalog manages the schema objects of a database instance —
+// tables, columns, clustered and secondary indexes — together with their
+// physical storage (heap files or B+-trees) and basic optimizer statistics.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"oldelephant/internal/btree"
+	"oldelephant/internal/storage"
+	"oldelephant/internal/value"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// Catalog is the set of tables of one database instance. All tables share
+// one pager so I/O statistics are accounted globally.
+type Catalog struct {
+	mu       sync.RWMutex
+	pager    *storage.Pager
+	tables   map[string]*Table
+	overhead int
+}
+
+// New creates an empty catalog. overhead is the per-tuple storage overhead in
+// bytes used by all tables and index leaves (negative selects the default).
+func New(pager *storage.Pager, overhead int) *Catalog {
+	if overhead < 0 {
+		overhead = storage.DefaultTupleOverhead
+	}
+	return &Catalog{pager: pager, tables: make(map[string]*Table), overhead: overhead}
+}
+
+// Pager returns the pager shared by all tables in the catalog.
+func (c *Catalog) Pager() *storage.Pager { return c.pager }
+
+// TupleOverhead returns the per-tuple overhead in bytes configured for this catalog.
+func (c *Catalog) TupleOverhead() int { return c.overhead }
+
+// CreateTable registers a new table. If clusteredKey is non-empty the table
+// is stored in a clustered B+-tree on those columns (rows are kept in key
+// order); otherwise rows go to a heap file.
+func (c *Catalog) CreateTable(name string, cols []Column, clusteredKey []string) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: table %q must have at least one column", name)
+	}
+	seen := make(map[string]bool)
+	for _, col := range cols {
+		lc := strings.ToLower(col.Name)
+		if seen[lc] {
+			return nil, fmt.Errorf("catalog: duplicate column %q in table %q", col.Name, name)
+		}
+		seen[lc] = true
+	}
+	t := &Table{
+		Name:    name,
+		Columns: cols,
+		catalog: c,
+		Stats:   NewTableStats(cols),
+	}
+	if len(clusteredKey) > 0 {
+		ords, err := t.ordinals(clusteredKey)
+		if err != nil {
+			return nil, err
+		}
+		t.Clustered = &Index{
+			Name:       name + "_clustered",
+			Table:      t,
+			KeyColumns: ords,
+			Clustered:  true,
+			tree:       btree.New(c.pager, c.overhead),
+		}
+	} else {
+		t.heap = storage.NewHeapFile(c.pager, c.overhead)
+	}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Table looks up a table by case-insensitive name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether a table exists.
+func (c *Catalog) HasTable(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[strings.ToLower(name)]
+	return ok
+}
+
+// DropTable removes a table from the catalog. Its pages are not reclaimed
+// (the pager has no free list) but become unreachable.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Table is one relation: schema, storage and indexes.
+type Table struct {
+	Name    string
+	Columns []Column
+
+	// Clustered is the clustered index, nil for heap tables.
+	Clustered *Index
+	// Secondary are the nonclustered indexes.
+	Secondary []*Index
+
+	Stats *TableStats
+
+	catalog    *Catalog
+	heap       *storage.HeapFile
+	uniquifier int64
+}
+
+// ColumnIndex returns the ordinal of the named column (case-insensitive), or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+func (t *Table) ordinals(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		ord := t.ColumnIndex(n)
+		if ord < 0 {
+			return nil, fmt.Errorf("catalog: table %q has no column %q", t.Name, n)
+		}
+		out[i] = ord
+	}
+	return out, nil
+}
+
+// IsClustered reports whether the table is stored in a clustered index.
+func (t *Table) IsClustered() bool { return t.Clustered != nil }
+
+// RowCount returns the current number of rows.
+func (t *Table) RowCount() int64 {
+	if t.Clustered != nil {
+		return t.Clustered.tree.Count()
+	}
+	return t.heap.RowCount()
+}
+
+// DataPages returns the number of pages holding the table's rows (leaf pages
+// of the clustered index, or heap pages).
+func (t *Table) DataPages() int {
+	if t.Clustered != nil {
+		return t.Clustered.tree.NumLeafPages()
+	}
+	return t.heap.NumPages()
+}
+
+// clusteredKeyOf extracts the clustered-key values of a row and appends the
+// uniquifier used to keep duplicate keys distinct in the tree.
+func (t *Table) clusteredKey(row []value.Value, uniq int64) []byte {
+	vals := make([]value.Value, 0, len(t.Clustered.KeyColumns)+1)
+	for _, ord := range t.Clustered.KeyColumns {
+		vals = append(vals, row[ord])
+	}
+	vals = append(vals, value.NewInt(uniq))
+	return value.EncodeKey(nil, vals)
+}
+
+// Insert adds one row, maintaining the clustered storage, every secondary
+// index and the table statistics.
+func (t *Table) Insert(row []value.Value) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("catalog: table %q expects %d columns, got %d", t.Name, len(t.Columns), len(row))
+	}
+	var rid storage.RID
+	var uniq int64
+	if t.Clustered != nil {
+		uniq = t.uniquifier
+		t.uniquifier++
+		key := t.clusteredKey(row, uniq)
+		if err := t.Clustered.tree.Insert(key, value.EncodeTuple(nil, row)); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		rid, err = t.heap.Insert(row)
+		if err != nil {
+			return err
+		}
+	}
+	for _, idx := range t.Secondary {
+		if err := idx.insertEntry(row, rid, uniq); err != nil {
+			return err
+		}
+	}
+	t.Stats.observe(row)
+	return nil
+}
+
+// BulkLoad loads many rows at once. For clustered tables the rows are sorted
+// by the clustered key and bulk-loaded bottom-up, which is dramatically
+// faster than repeated inserts; secondary indexes are rebuilt the same way.
+func (t *Table) BulkLoad(rows [][]value.Value) error {
+	for _, row := range rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("catalog: table %q expects %d columns, got %d", t.Name, len(t.Columns), len(row))
+		}
+	}
+	if t.Clustered == nil {
+		for _, row := range rows {
+			if err := t.Insert(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	type keyed struct {
+		key []byte
+		row []value.Value
+	}
+	items := make([]keyed, len(rows))
+	for i, row := range rows {
+		uniq := t.uniquifier
+		t.uniquifier++
+		items[i] = keyed{key: t.clusteredKey(row, uniq), row: row}
+	}
+	sort.Slice(items, func(i, j int) bool { return lessBytes(items[i].key, items[j].key) })
+	i := 0
+	err := t.Clustered.tree.BulkLoad(func() ([]byte, []byte, bool) {
+		if i >= len(items) {
+			return nil, nil, false
+		}
+		it := items[i]
+		i++
+		return it.key, value.EncodeTuple(nil, it.row), true
+	}, 0.95)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.Stats.observe(row)
+	}
+	for _, idx := range t.Secondary {
+		if err := idx.rebuild(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func lessBytes(a, b []byte) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Scan returns an iterator over all rows. For clustered tables rows come back
+// in clustered-key order; for heaps in insertion order.
+func (t *Table) Scan() *RowIterator {
+	if t.Clustered != nil {
+		return &RowIterator{table: t, tree: t.Clustered.tree.Scan()}
+	}
+	return &RowIterator{table: t, heap: t.heap.Scan()}
+}
+
+// LookupRID fetches a heap row by RID (heap tables only).
+func (t *Table) LookupRID(rid storage.RID) ([]value.Value, error) {
+	if t.heap == nil {
+		return nil, fmt.Errorf("catalog: table %q is not a heap", t.Name)
+	}
+	return t.heap.Get(rid)
+}
+
+// SeekClustered returns an iterator over rows whose clustered-key prefix is
+// within [lo, hi]. Bounds may be nil for open ranges; inclusivity flags apply
+// to the respective bound.
+func (t *Table) SeekClustered(lo, hi []value.Value, loIncl, hiIncl bool) (*RowIterator, error) {
+	if t.Clustered == nil {
+		return nil, fmt.Errorf("catalog: table %q has no clustered index", t.Name)
+	}
+	start, stop, stopIncl := encodeRange(lo, hi, loIncl, hiIncl)
+	return &RowIterator{table: t, tree: t.Clustered.tree.Seek(start, stop, stopIncl)}, nil
+}
+
+// encodeRange converts value-space bounds into key-space bounds. Because
+// every stored key has a uniquifier (or locator) suffix, prefix bounds are
+// made inclusive/exclusive by appending sentinel bytes:
+//   - inclusive lower bound: the bare prefix (sorts before any full key)
+//   - exclusive lower bound: prefix + 0xFF... (sorts after all keys with it)
+//   - inclusive upper bound: prefix + 0xFF...
+//   - exclusive upper bound: the bare prefix
+func encodeRange(lo, hi []value.Value, loIncl, hiIncl bool) (start, stop []byte, stopIncl bool) {
+	if lo != nil {
+		start = value.EncodeKey(nil, lo)
+		if !loIncl {
+			start = append(start, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+		}
+	}
+	if hi != nil {
+		stop = value.EncodeKey(nil, hi)
+		if hiIncl {
+			stop = append(stop, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+		}
+		stopIncl = hiIncl
+	}
+	return start, stop, stopIncl
+}
+
+// RowIterator yields table rows from either storage representation.
+type RowIterator struct {
+	table *Table
+	tree  *btree.Iterator
+	heap  *storage.HeapIterator
+}
+
+// Next returns the next row; ok is false at the end.
+func (it *RowIterator) Next() (row []value.Value, ok bool, err error) {
+	if it.tree != nil {
+		if !it.tree.Next() {
+			return nil, false, nil
+		}
+		row, _, err := value.DecodeTuple(it.tree.Value())
+		if err != nil {
+			return nil, false, err
+		}
+		return row, true, nil
+	}
+	row, _, ok, err = it.heap.Next()
+	return row, ok, err
+}
+
+// CreateIndex builds a nonclustered index over the table. keyCols define the
+// sort order; includeCols are carried in the leaf entries so that queries
+// touching only key+included columns never visit the base table (a covering
+// index). The locator (clustered key or RID) is always appended.
+func (c *Catalog) CreateIndex(name, tableName string, keyCols, includeCols []string, unique bool) (*Index, error) {
+	t, err := c.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range t.Secondary {
+		if strings.EqualFold(idx.Name, name) {
+			return nil, fmt.Errorf("catalog: index %q already exists on %q", name, tableName)
+		}
+	}
+	keyOrds, err := t.ordinals(keyCols)
+	if err != nil {
+		return nil, err
+	}
+	inclOrds, err := t.ordinals(includeCols)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		Name:            name,
+		Table:           t,
+		KeyColumns:      keyOrds,
+		IncludedColumns: inclOrds,
+		Unique:          unique,
+		tree:            btree.New(c.pager, c.overhead),
+	}
+	if err := idx.rebuild(); err != nil {
+		return nil, err
+	}
+	t.Secondary = append(t.Secondary, idx)
+	return idx, nil
+}
+
+// Index is a clustered or nonclustered index.
+type Index struct {
+	Name            string
+	Table           *Table
+	KeyColumns      []int
+	IncludedColumns []int
+	Unique          bool
+	Clustered       bool
+
+	tree *btree.BTree
+}
+
+// Tree exposes the underlying B+-tree (read-only use by statistics and tests).
+func (ix *Index) Tree() *btree.BTree { return ix.tree }
+
+// KeyColumnNames returns the names of the key columns in index order.
+func (ix *Index) KeyColumnNames() []string {
+	out := make([]string, len(ix.KeyColumns))
+	for i, ord := range ix.KeyColumns {
+		out[i] = ix.Table.Columns[ord].Name
+	}
+	return out
+}
+
+// Covers reports whether every requested column ordinal is available from the
+// index entry itself (key, included or clustered-key columns).
+func (ix *Index) Covers(ordinals []int) bool {
+	avail := make(map[int]bool)
+	for _, o := range ix.KeyColumns {
+		avail[o] = true
+	}
+	for _, o := range ix.IncludedColumns {
+		avail[o] = true
+	}
+	if ix.Table.Clustered != nil {
+		for _, o := range ix.Table.Clustered.KeyColumns {
+			avail[o] = true
+		}
+	}
+	for _, o := range ordinals {
+		if !avail[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// entryColumns returns the ordinals stored in a leaf entry payload, in the
+// order they are stored: key columns, included columns, then locator columns
+// (clustered key columns not already present).
+func (ix *Index) entryColumns() []int {
+	out := append([]int(nil), ix.KeyColumns...)
+	seen := make(map[int]bool)
+	for _, o := range out {
+		seen[o] = true
+	}
+	for _, o := range ix.IncludedColumns {
+		if !seen[o] {
+			out = append(out, o)
+			seen[o] = true
+		}
+	}
+	if ix.Table.Clustered != nil {
+		for _, o := range ix.Table.Clustered.KeyColumns {
+			if !seen[o] {
+				out = append(out, o)
+				seen[o] = true
+			}
+		}
+	}
+	return out
+}
+
+// EntryColumnOrdinals exposes the ordinals (into the base table schema) of
+// the columns materialized in each index entry, in storage order.
+func (ix *Index) EntryColumnOrdinals() []int { return ix.entryColumns() }
+
+// insertEntry adds the index entry for one base-table row.
+func (ix *Index) insertEntry(row []value.Value, rid storage.RID, uniq int64) error {
+	key := ix.encodeEntryKey(row, rid, uniq)
+	payload := ix.encodeEntryPayload(row, rid)
+	return ix.tree.Insert(key, payload)
+}
+
+func (ix *Index) encodeEntryKey(row []value.Value, rid storage.RID, uniq int64) []byte {
+	vals := make([]value.Value, 0, len(ix.KeyColumns)+3)
+	for _, ord := range ix.KeyColumns {
+		vals = append(vals, row[ord])
+	}
+	// Disambiguate duplicates with the locator so keys are unique and scans
+	// within equal key values are deterministic.
+	if ix.Table.Clustered != nil {
+		vals = append(vals, value.NewInt(uniq))
+	} else {
+		vals = append(vals, value.NewInt(int64(rid.Page)), value.NewInt(int64(rid.Slot)))
+	}
+	return value.EncodeKey(nil, vals)
+}
+
+func (ix *Index) encodeEntryPayload(row []value.Value, rid storage.RID) []byte {
+	cols := ix.entryColumns()
+	vals := make([]value.Value, 0, len(cols)+2)
+	for _, ord := range cols {
+		vals = append(vals, row[ord])
+	}
+	if ix.Table.Clustered == nil {
+		vals = append(vals, value.NewInt(int64(rid.Page)), value.NewInt(int64(rid.Slot)))
+	}
+	return value.EncodeTuple(nil, vals)
+}
+
+// rebuild reconstructs the index from the base table using a bulk load.
+func (ix *Index) rebuild() error {
+	type item struct {
+		key     []byte
+		payload []byte
+	}
+	var items []item
+	it := ix.Table.Scan()
+	var uniq int64
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		// RIDs are not tracked by the generic row iterator; heap locators are
+		// only meaningful for heap tables, where we re-scan with RIDs below.
+		items = append(items, item{
+			key:     ix.encodeEntryKey(row, storage.RID{}, uniq),
+			payload: ix.encodeEntryPayload(row, storage.RID{}),
+		})
+		uniq++
+	}
+	if ix.Table.heap != nil {
+		// Redo with correct RIDs for heap tables.
+		items = items[:0]
+		hit := ix.Table.heap.Scan()
+		for {
+			row, rid, ok, err := hit.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			items = append(items, item{
+				key:     ix.encodeEntryKey(row, rid, 0),
+				payload: ix.encodeEntryPayload(row, rid),
+			})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return lessBytes(items[i].key, items[j].key) })
+	if ix.Unique {
+		for i := 1; i < len(items); i++ {
+			// Uniqueness is on the key columns only; compare the key-column
+			// prefix by re-encoding without the locator. A cheaper practical
+			// check: decode payloads and compare key column values.
+			a, _, err := value.DecodeTuple(items[i-1].payload)
+			if err != nil {
+				return err
+			}
+			b, _, err := value.DecodeTuple(items[i].payload)
+			if err != nil {
+				return err
+			}
+			same := true
+			for k := range ix.KeyColumns {
+				if value.Compare(a[k], b[k]) != 0 {
+					same = false
+					break
+				}
+			}
+			if same && len(ix.KeyColumns) > 0 {
+				return fmt.Errorf("catalog: duplicate key in unique index %q", ix.Name)
+			}
+		}
+	}
+	i := 0
+	return ix.tree.BulkLoad(func() ([]byte, []byte, bool) {
+		if i >= len(items) {
+			return nil, nil, false
+		}
+		it := items[i]
+		i++
+		return it.key, it.payload, true
+	}, 0.95)
+}
+
+// IndexEntry is one decoded secondary-index entry.
+type IndexEntry struct {
+	// Values holds the entry's columns in the order given by EntryColumnOrdinals.
+	Values []value.Value
+	// RID locates the base row for heap tables.
+	RID storage.RID
+}
+
+// Seek returns an iterator over index entries whose key-column prefix lies in
+// [lo, hi] (nil bounds are open; inclusivity per flag).
+func (ix *Index) Seek(lo, hi []value.Value, loIncl, hiIncl bool) *IndexIterator {
+	start, stop, stopIncl := encodeRange(lo, hi, loIncl, hiIncl)
+	return &IndexIterator{index: ix, it: ix.tree.Seek(start, stop, stopIncl)}
+}
+
+// ScanAll returns an iterator over the whole index in key order.
+func (ix *Index) ScanAll() *IndexIterator {
+	return &IndexIterator{index: ix, it: ix.tree.Scan()}
+}
+
+// IndexIterator yields decoded index entries.
+type IndexIterator struct {
+	index *Index
+	it    *btree.Iterator
+}
+
+// Next returns the next entry; ok is false at the end.
+func (s *IndexIterator) Next() (IndexEntry, bool, error) {
+	if !s.it.Next() {
+		return IndexEntry{}, false, nil
+	}
+	vals, _, err := value.DecodeTuple(s.it.Value())
+	if err != nil {
+		return IndexEntry{}, false, err
+	}
+	entry := IndexEntry{}
+	ncols := len(s.index.entryColumns())
+	if s.index.Table.heap != nil && len(vals) >= ncols+2 {
+		entry.RID = storage.RID{
+			Page: storage.PageID(vals[ncols].Int()),
+			Slot: uint16(vals[ncols+1].Int()),
+		}
+		vals = vals[:ncols]
+	}
+	entry.Values = vals
+	return entry, true, nil
+}

@@ -1,0 +1,468 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"oldelephant/internal/storage"
+	"oldelephant/internal/value"
+)
+
+func newTestCatalog() *Catalog {
+	return New(storage.NewPager(0), -1)
+}
+
+func lineitemColumns() []Column {
+	return []Column{
+		{Name: "l_orderkey", Kind: value.KindInt},
+		{Name: "l_suppkey", Kind: value.KindInt},
+		{Name: "l_shipdate", Kind: value.KindDate},
+		{Name: "l_extendedprice", Kind: value.KindFloat},
+		{Name: "l_returnflag", Kind: value.KindString},
+	}
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	c := newTestCatalog()
+	tb, err := c.CreateTable("lineitem", lineitemColumns(), []string{"l_orderkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.IsClustered() {
+		t.Error("table should be clustered")
+	}
+	if _, err := c.CreateTable("lineitem", lineitemColumns(), nil); err == nil {
+		t.Error("duplicate table creation should fail")
+	}
+	if _, err := c.CreateTable("empty", nil, nil); err == nil {
+		t.Error("table without columns should fail")
+	}
+	if _, err := c.CreateTable("dup", []Column{{Name: "a"}, {Name: "A"}}, nil); err == nil {
+		t.Error("duplicate column names should fail")
+	}
+	if _, err := c.CreateTable("badkey", []Column{{Name: "a"}}, []string{"nope"}); err == nil {
+		t.Error("clustered key on missing column should fail")
+	}
+	got, err := c.Table("LINEITEM")
+	if err != nil || got != tb {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Error("lookup of missing table should fail")
+	}
+	if !c.HasTable("lineitem") || c.HasTable("nope") {
+		t.Error("HasTable wrong")
+	}
+	if n := len(c.Tables()); n != 1 {
+		t.Errorf("Tables() returned %d", n)
+	}
+	if err := c.DropTable("lineitem"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("lineitem"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestColumnHelpers(t *testing.T) {
+	c := newTestCatalog()
+	tb, _ := c.CreateTable("t", lineitemColumns(), nil)
+	if tb.ColumnIndex("L_SHIPDATE") != 2 {
+		t.Error("ColumnIndex should be case-insensitive")
+	}
+	if tb.ColumnIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+	names := tb.ColumnNames()
+	if len(names) != 5 || names[0] != "l_orderkey" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}
+
+func makeRow(orderkey, suppkey int64, shipdate string, price float64, flag string) []value.Value {
+	return []value.Value{
+		value.NewInt(orderkey),
+		value.NewInt(suppkey),
+		value.MustParseDate(shipdate),
+		value.NewFloat(price),
+		value.NewString(flag),
+	}
+}
+
+func TestInsertAndScanClustered(t *testing.T) {
+	c := newTestCatalog()
+	tb, _ := c.CreateTable("lineitem", lineitemColumns(), []string{"l_shipdate", "l_suppkey"})
+	// Insert in random order; scan must come back sorted by (shipdate, suppkey).
+	rng := rand.New(rand.NewSource(3))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		day := 1 + rng.Intn(28)
+		row := makeRow(int64(i), int64(rng.Intn(50)), fmt.Sprintf("1995-03-%02d", day), 100.5, "N")
+		if err := tb.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.RowCount() != n {
+		t.Fatalf("RowCount = %d", tb.RowCount())
+	}
+	it := tb.Scan()
+	var prev []value.Value
+	count := 0
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if prev != nil {
+			cmpDate := value.Compare(prev[2], row[2])
+			if cmpDate > 0 || (cmpDate == 0 && value.Compare(prev[1], row[1]) > 0) {
+				t.Fatalf("clustered scan out of order at row %d", count)
+			}
+		}
+		prev = row
+		count++
+	}
+	if count != n {
+		t.Fatalf("scan saw %d rows", count)
+	}
+	if tb.DataPages() == 0 {
+		t.Error("clustered table should report data pages")
+	}
+	// Wrong arity is rejected.
+	if err := tb.Insert([]value.Value{value.NewInt(1)}); err == nil {
+		t.Error("wrong arity insert should fail")
+	}
+}
+
+func TestSeekClustered(t *testing.T) {
+	c := newTestCatalog()
+	tb, _ := c.CreateTable("lineitem", lineitemColumns(), []string{"l_shipdate", "l_suppkey"})
+	var rows [][]value.Value
+	for day := 1; day <= 20; day++ {
+		for supp := 0; supp < 5; supp++ {
+			rows = append(rows, makeRow(int64(day*100+supp), int64(supp), fmt.Sprintf("1995-03-%02d", day), 10, "N"))
+		}
+	}
+	if err := tb.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	lo := []value.Value{value.MustParseDate("1995-03-05")}
+	hi := []value.Value{value.MustParseDate("1995-03-07")}
+	it, err := tb.SeekClustered(lo, hi, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		d := row[2].String()
+		if d < "1995-03-05" || d > "1995-03-07" {
+			t.Errorf("row outside range: %s", d)
+		}
+		count++
+	}
+	if count != 15 {
+		t.Errorf("range scan saw %d rows, want 15", count)
+	}
+	// Exclusive lower bound skips the boundary day.
+	it, _ = tb.SeekClustered(lo, hi, false, true)
+	count = 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 10 {
+		t.Errorf("exclusive-low range saw %d rows, want 10", count)
+	}
+	// Heap tables refuse clustered seeks.
+	heapTb, _ := c.CreateTable("h", lineitemColumns(), nil)
+	if _, err := heapTb.SeekClustered(lo, hi, true, true); err == nil {
+		t.Error("SeekClustered on heap should fail")
+	}
+}
+
+func TestHeapTableAndRIDLookup(t *testing.T) {
+	c := newTestCatalog()
+	tb, _ := c.CreateTable("h", lineitemColumns(), nil)
+	for i := 0; i < 100; i++ {
+		if err := tb.Insert(makeRow(int64(i), int64(i%7), "1996-01-01", float64(i), "R")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.IsClustered() {
+		t.Error("heap table should not be clustered")
+	}
+	if tb.RowCount() != 100 {
+		t.Errorf("RowCount = %d", tb.RowCount())
+	}
+	// Index on a heap table stores RIDs that can be chased back to rows.
+	idx, err := c.CreateIndex("h_supp", "h", []string{"l_suppkey"}, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := idx.Seek([]value.Value{value.NewInt(3)}, []value.Value{value.NewInt(3)}, true, true)
+	found := 0
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if !e.RID.Valid() {
+			t.Fatal("heap index entry missing RID")
+		}
+		row, err := tb.LookupRID(e.RID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[1].Int() != 3 {
+			t.Errorf("RID lookup returned suppkey %v", row[1])
+		}
+		found++
+	}
+	if found != 14 { // suppkey = i%7 == 3 for i in {3,10,...,94}: 14 rows
+		t.Errorf("found %d rows with suppkey 3, want 14", found)
+	}
+	// LookupRID on clustered tables is an error.
+	cl, _ := c.CreateTable("cl", lineitemColumns(), []string{"l_orderkey"})
+	if _, err := cl.LookupRID(storage.RID{Page: 1}); err == nil {
+		t.Error("LookupRID on clustered table should fail")
+	}
+}
+
+func TestSecondaryIndexCoveringAndSeek(t *testing.T) {
+	c := newTestCatalog()
+	tb, _ := c.CreateTable("lineitem", lineitemColumns(), []string{"l_shipdate", "l_suppkey"})
+	var rows [][]value.Value
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, makeRow(int64(i), int64(i%10), fmt.Sprintf("1995-%02d-15", 1+i%12), float64(i), "N"))
+	}
+	if err := tb.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.CreateIndex("ix_supp", "lineitem", []string{"l_suppkey"}, []string{"l_extendedprice"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Covers: key col, included col, clustered key cols.
+	if !idx.Covers([]int{1, 3, 2}) {
+		t.Error("index should cover suppkey, price and shipdate")
+	}
+	if idx.Covers([]int{0}) {
+		t.Error("index should not cover l_orderkey")
+	}
+	if idx.Covers([]int{4}) {
+		t.Error("index should not cover l_returnflag")
+	}
+	names := idx.KeyColumnNames()
+	if len(names) != 1 || names[0] != "l_suppkey" {
+		t.Errorf("KeyColumnNames = %v", names)
+	}
+	// Seek suppkey = 4: 100 entries, each exposing price and shipdate.
+	it := idx.Seek([]value.Value{value.NewInt(4)}, []value.Value{value.NewInt(4)}, true, true)
+	ords := idx.EntryColumnOrdinals()
+	count := 0
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if len(e.Values) != len(ords) {
+			t.Fatalf("entry has %d values, want %d", len(e.Values), len(ords))
+		}
+		if e.Values[0].Int() != 4 {
+			t.Errorf("entry key = %v", e.Values[0])
+		}
+		count++
+	}
+	if count != 100 {
+		t.Errorf("seek found %d entries, want 100", count)
+	}
+	// Full index scan is ordered by key.
+	scan := idx.ScanAll()
+	prev := int64(-1)
+	total := 0
+	for {
+		e, ok, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if e.Values[0].Int() < prev {
+			t.Fatal("index scan out of order")
+		}
+		prev = e.Values[0].Int()
+		total++
+	}
+	if total != 1000 {
+		t.Errorf("index scan saw %d entries", total)
+	}
+	// Errors: duplicate index name, missing columns, unique violation.
+	if _, err := c.CreateIndex("ix_supp", "lineitem", []string{"l_suppkey"}, nil, false); err == nil {
+		t.Error("duplicate index name should fail")
+	}
+	if _, err := c.CreateIndex("ix_bad", "lineitem", []string{"missing"}, nil, false); err == nil {
+		t.Error("index on missing column should fail")
+	}
+	if _, err := c.CreateIndex("ix_badinc", "lineitem", []string{"l_suppkey"}, []string{"missing"}, false); err == nil {
+		t.Error("include of missing column should fail")
+	}
+	if _, err := c.CreateIndex("ix_uniq", "lineitem", []string{"l_suppkey"}, nil, true); err == nil {
+		t.Error("unique index over duplicate values should fail")
+	}
+	if _, err := c.CreateIndex("ix_ok_uniq", "lineitem", []string{"l_orderkey"}, nil, true); err != nil {
+		t.Errorf("unique index over unique values failed: %v", err)
+	}
+	if _, err := c.CreateIndex("ix", "missing", []string{"x"}, nil, false); err == nil {
+		t.Error("index on missing table should fail")
+	}
+}
+
+func TestIndexMaintainedByInserts(t *testing.T) {
+	c := newTestCatalog()
+	tb, _ := c.CreateTable("t", lineitemColumns(), []string{"l_orderkey"})
+	if _, err := c.CreateIndex("ix", "t", []string{"l_suppkey"}, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := tb.Insert(makeRow(int64(i), int64(i%5), "1997-07-07", 1, "A")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx := tb.Secondary[0]
+	it := idx.Seek([]value.Value{value.NewInt(2)}, []value.Value{value.NewInt(2)}, true, true)
+	n := 0
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Errorf("index sees %d entries for suppkey 2, want 10", n)
+	}
+}
+
+func TestBulkLoadMatchesInsertResults(t *testing.T) {
+	c := newTestCatalog()
+	a, _ := c.CreateTable("a", lineitemColumns(), []string{"l_shipdate"})
+	b, _ := c.CreateTable("b", lineitemColumns(), []string{"l_shipdate"})
+	rng := rand.New(rand.NewSource(11))
+	var rows [][]value.Value
+	for i := 0; i < 500; i++ {
+		rows = append(rows, makeRow(int64(i), int64(rng.Intn(9)), fmt.Sprintf("199%d-0%d-1%d", rng.Intn(8), 1+rng.Intn(9), rng.Intn(9)), float64(i), "R"))
+	}
+	for _, r := range rows {
+		if err := a.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	ia, ib := a.Scan(), b.Scan()
+	for {
+		ra, oka, err := ia.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, okb, err := ib.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oka != okb {
+			t.Fatal("row counts differ between insert and bulk load")
+		}
+		if !oka {
+			break
+		}
+		if value.Compare(ra[2], rb[2]) != 0 {
+			t.Fatalf("clustered order differs: %v vs %v", ra[2], rb[2])
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := newTestCatalog()
+	tb, _ := c.CreateTable("t", lineitemColumns(), []string{"l_orderkey"})
+	for i := 0; i < 1000; i++ {
+		flag := "N"
+		if i%4 == 0 {
+			flag = "R"
+		}
+		row := makeRow(int64(i), int64(i%20), fmt.Sprintf("1995-01-%02d", 1+i%28), float64(i), flag)
+		if i%10 == 0 {
+			row[3] = value.Null()
+		}
+		if err := tb.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tb.Stats
+	if st.RowCount != 1000 {
+		t.Errorf("RowCount = %d", st.RowCount)
+	}
+	if d := st.DistinctCount(1); d != 20 {
+		t.Errorf("distinct suppkey = %d, want 20", d)
+	}
+	if d := st.DistinctCount(4); d != 2 {
+		t.Errorf("distinct returnflag = %d, want 2", d)
+	}
+	if st.NullCount(3) != 100 {
+		t.Errorf("null count = %d", st.NullCount(3))
+	}
+	minV, maxV := st.MinMax(0)
+	if minV.Int() != 0 || maxV.Int() != 999 {
+		t.Errorf("min/max orderkey = %v/%v", minV, maxV)
+	}
+	if s := st.SelectivityEquals(1); s < 0.04 || s > 0.06 {
+		t.Errorf("equality selectivity = %f", s)
+	}
+	full := st.SelectivityRange(0, value.NewInt(0), value.NewInt(999))
+	if full < 0.99 {
+		t.Errorf("full range selectivity = %f", full)
+	}
+	half := st.SelectivityRange(0, value.NewInt(500), value.Null())
+	if half < 0.4 || half > 0.6 {
+		t.Errorf("half range selectivity = %f", half)
+	}
+	empty := st.SelectivityRange(0, value.NewInt(2000), value.NewInt(3000))
+	if empty != 0 {
+		t.Errorf("out-of-range selectivity = %f", empty)
+	}
+	// Out-of-range column ordinals are safe.
+	if st.DistinctCount(99) != 1 || st.NullCount(99) != 0 {
+		t.Error("out-of-range column stats should degrade gracefully")
+	}
+	mn, mx := st.MinMax(99)
+	if !mn.IsNull() || !mx.IsNull() {
+		t.Error("out-of-range MinMax should be NULL")
+	}
+}

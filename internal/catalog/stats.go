@@ -1,0 +1,163 @@
+package catalog
+
+import (
+	"oldelephant/internal/value"
+)
+
+// maxDistinctTracked bounds the memory used for exact distinct counting; when
+// a column exceeds it the count becomes an estimate that simply stops growing.
+const maxDistinctTracked = 1 << 20
+
+// TableStats holds per-table and per-column statistics used for cardinality
+// estimation by the planner and for reporting.
+type TableStats struct {
+	RowCount int64
+	// DataBytes is the total encoded size of all observed rows, excluding
+	// per-tuple overhead. It lets the planner estimate page counts without
+	// touching storage.
+	DataBytes int64
+	columns   []columnStats
+}
+
+// EstimatedDataPages estimates how many pages the rows occupy given the
+// per-tuple overhead, assuming ~95% page fill.
+func (s *TableStats) EstimatedDataPages(overhead int) float64 {
+	bytes := float64(s.DataBytes) + float64(s.RowCount)*float64(overhead)
+	pages := bytes / (0.95 * 8192)
+	if pages < 1 {
+		return 1
+	}
+	return pages
+}
+
+type columnStats struct {
+	distinct  map[uint64]struct{}
+	saturated bool
+	min, max  value.Value
+	nulls     int64
+}
+
+// NewTableStats creates empty statistics for the given columns.
+func NewTableStats(cols []Column) *TableStats {
+	s := &TableStats{columns: make([]columnStats, len(cols))}
+	for i := range s.columns {
+		s.columns[i].distinct = make(map[uint64]struct{})
+		s.columns[i].min = value.Null()
+		s.columns[i].max = value.Null()
+	}
+	return s
+}
+
+// observe folds one row into the statistics.
+func (s *TableStats) observe(row []value.Value) {
+	s.RowCount++
+	s.DataBytes += int64(value.RowSize(row))
+	for i := range row {
+		if i >= len(s.columns) {
+			break
+		}
+		cs := &s.columns[i]
+		v := row[i]
+		if v.IsNull() {
+			cs.nulls++
+			continue
+		}
+		if !cs.saturated {
+			cs.distinct[v.Hash()] = struct{}{}
+			if len(cs.distinct) >= maxDistinctTracked {
+				cs.saturated = true
+			}
+		}
+		if cs.min.IsNull() || value.Compare(v, cs.min) < 0 {
+			cs.min = v
+		}
+		if cs.max.IsNull() || value.Compare(v, cs.max) > 0 {
+			cs.max = v
+		}
+	}
+}
+
+// DistinctCount returns the (possibly estimated) number of distinct non-NULL
+// values in the column, and 1 at minimum for non-empty tables so selectivity
+// math never divides by zero.
+func (s *TableStats) DistinctCount(col int) int64 {
+	if col < 0 || col >= len(s.columns) {
+		return 1
+	}
+	n := int64(len(s.columns[col].distinct))
+	if n == 0 && s.RowCount > 0 {
+		return 1
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// MinMax returns the observed minimum and maximum of the column (NULL when
+// the table is empty or all values are NULL).
+func (s *TableStats) MinMax(col int) (value.Value, value.Value) {
+	if col < 0 || col >= len(s.columns) {
+		return value.Null(), value.Null()
+	}
+	return s.columns[col].min, s.columns[col].max
+}
+
+// NullCount returns the number of NULLs observed in the column.
+func (s *TableStats) NullCount(col int) int64 {
+	if col < 0 || col >= len(s.columns) {
+		return 0
+	}
+	return s.columns[col].nulls
+}
+
+// SelectivityEquals estimates the fraction of rows matching column = constant
+// using a uniform-distribution assumption over the distinct values.
+func (s *TableStats) SelectivityEquals(col int) float64 {
+	if s.RowCount == 0 {
+		return 0
+	}
+	return 1.0 / float64(s.DistinctCount(col))
+}
+
+// SelectivityRange estimates the fraction of rows with column in [lo, hi]
+// (either bound may be NULL for an open range) by linear interpolation over
+// the observed min/max. Falls back to 1/3 when interpolation is impossible.
+func (s *TableStats) SelectivityRange(col int, lo, hi value.Value) float64 {
+	if s.RowCount == 0 {
+		return 0
+	}
+	minV, maxV := s.MinMax(col)
+	if minV.IsNull() || maxV.IsNull() {
+		return 1.0 / 3.0
+	}
+	span := maxV.Float() - minV.Float()
+	if span <= 0 {
+		return 1.0
+	}
+	start := minV.Float()
+	end := maxV.Float()
+	if !lo.IsNull() {
+		start = lo.Float()
+	}
+	if !hi.IsNull() {
+		end = hi.Float()
+	}
+	if end < start {
+		return 0
+	}
+	if start < minV.Float() {
+		start = minV.Float()
+	}
+	if end > maxV.Float() {
+		end = maxV.Float()
+	}
+	frac := (end - start) / span
+	if frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}

@@ -1,0 +1,301 @@
+package colstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"oldelephant/internal/value"
+)
+
+// buildD1Like builds a projection shaped like the paper's D1:
+// (lineitem | l_shipdate, l_suppkey) with long shipdate runs.
+func buildD1Like(t testing.TB, rows int) *Projection {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	var data [][]value.Value
+	base := value.MustParseDate("1995-01-01").Int()
+	for i := 0; i < rows; i++ {
+		data = append(data, []value.Value{
+			value.NewDate(base + int64(i%100)),                   // 100 distinct dates
+			value.NewInt(int64(rng.Intn(50))),                    // 50 suppliers
+			value.NewFloat(float64(1000+rng.Intn(100000)) / 100), // price: mostly distinct
+		})
+	}
+	p, err := BuildProjection("D1", []string{"l_shipdate", "l_suppkey", "l_extendedprice"},
+		[]value.Kind{value.KindDate, value.KindInt, value.KindFloat},
+		[]string{"l_shipdate", "l_suppkey"}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildProjectionEncodings(t *testing.T) {
+	p := buildD1Like(t, 20000)
+	if p.NumRows != 20000 {
+		t.Fatalf("NumRows = %d", p.NumRows)
+	}
+	ship, err := p.Segment("l_shipdate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The leading sort column has long runs: RLE with 100 runs.
+	if ship.Encoding != EncodingRLE {
+		t.Errorf("l_shipdate encoding = %v, want RLE", ship.Encoding)
+	}
+	if len(ship.Runs()) != 100 {
+		t.Errorf("l_shipdate runs = %d, want 100", len(ship.Runs()))
+	}
+	supp, _ := p.Segment("l_suppkey")
+	// Second sort column: runs are short (200 rows per date / 50 suppliers),
+	// so either RLE over ~few-row runs or a dictionary; both compress well.
+	if supp.CompressedBytes >= ship.NumRows*4 {
+		t.Errorf("l_suppkey did not compress: %d bytes", supp.CompressedBytes)
+	}
+	price, _ := p.Segment("l_extendedprice")
+	if price.Encoding == EncodingRLE {
+		t.Errorf("high-cardinality unsorted column should not be RLE")
+	}
+	// The price column must be much larger than the shipdate column — this
+	// asymmetry is what drives the paper's Q7-vs-ColOpt result.
+	if price.CompressedBytes < 20*ship.CompressedBytes {
+		t.Errorf("price (%d bytes) should dwarf shipdate (%d bytes)", price.CompressedBytes, ship.CompressedBytes)
+	}
+	if p.TotalCompressedBytes() <= 0 || p.TotalPages() <= 0 {
+		t.Error("totals should be positive")
+	}
+	if p.ColumnIndex("l_suppkey") != 1 || p.ColumnIndex("nope") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+}
+
+func TestBuildProjectionErrors(t *testing.T) {
+	if _, err := BuildProjection("p", []string{"a"}, nil, nil, nil); err == nil {
+		t.Error("mismatched kinds should fail")
+	}
+	if _, err := BuildProjection("p", []string{"a"}, []value.Kind{value.KindInt}, []string{"b"}, nil); err == nil {
+		t.Error("unknown sort column should fail")
+	}
+	if _, err := BuildProjection("p", []string{"a"}, []value.Kind{value.KindInt}, nil,
+		[][]value.Value{{value.NewInt(1), value.NewInt(2)}}); err == nil {
+		t.Error("wrong arity rows should fail")
+	}
+	p, err := BuildProjection("p", []string{"a"}, []value.Kind{value.KindInt}, []string{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRows != 0 {
+		t.Error("empty projection should have zero rows")
+	}
+	frac, err := p.LeadingRangeFraction(value.NewInt(1), value.Null(), true, true)
+	if err != nil || frac != 0 {
+		t.Errorf("empty projection fraction = %v, %v", frac, err)
+	}
+	if _, err := p.Segment("missing"); err == nil {
+		t.Error("missing segment should fail")
+	}
+	if _, err := p.ColOptPages([]string{"missing"}, 1); err == nil {
+		t.Error("ColOptPages of missing column should fail")
+	}
+}
+
+func TestSegmentValueAccess(t *testing.T) {
+	p := buildD1Like(t, 5000)
+	for _, col := range p.Columns {
+		seg, _ := p.Segment(col)
+		if !seg.Value(0).IsNull() || !seg.Value(seg.NumRows+1).IsNull() {
+			t.Errorf("%s: out-of-range positions should be NULL", col)
+		}
+		if seg.Value(1).IsNull() || seg.Value(seg.NumRows).IsNull() {
+			t.Errorf("%s: valid positions should have values", col)
+		}
+	}
+	// Values in the leading column are non-decreasing (projection is sorted).
+	ship, _ := p.Segment("l_shipdate")
+	prev := ship.Value(1)
+	for pos := int64(2); pos <= ship.NumRows; pos += 97 {
+		v := ship.Value(pos)
+		if value.Compare(v, prev) < 0 {
+			t.Fatal("leading column not sorted")
+		}
+		prev = v
+	}
+}
+
+func TestLeadingRangeFractionAndColOpt(t *testing.T) {
+	p := buildD1Like(t, 10000)
+	base := value.MustParseDate("1995-01-01").Int()
+	// Dates 0..99, uniform: > day 49 is half the rows.
+	frac, err := p.LeadingRangeFraction(value.NewDate(base+49), value.Null(), false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("fraction = %f, want about 0.5", frac)
+	}
+	full, _ := p.LeadingRangeFraction(value.Null(), value.Null(), true, true)
+	if full != 1 {
+		t.Errorf("open range fraction = %f", full)
+	}
+	none, _ := p.LeadingRangeFraction(value.NewDate(base+1000), value.Null(), true, true)
+	if none != 0 {
+		t.Errorf("empty range fraction = %f", none)
+	}
+	// ColOpt pages scale with the fraction and with the set of columns.
+	all, err := p.ColOptPages([]string{"l_shipdate", "l_suppkey", "l_extendedprice"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, _ := p.ColOptPages([]string{"l_shipdate", "l_suppkey", "l_extendedprice"}, 0.5)
+	one, _ := p.ColOptPages([]string{"l_shipdate"}, 1.0)
+	if half > all || one > all {
+		t.Errorf("ColOpt pages inconsistent: all=%d half=%d one=%d", all, half, one)
+	}
+	if all <= 0 || half <= 0 || one <= 0 {
+		t.Error("ColOpt pages should be positive")
+	}
+	// Clamping.
+	clamped, _ := p.ColOptPages([]string{"l_shipdate"}, 1.5)
+	if clamped != one {
+		t.Errorf("fraction above 1 should clamp: %d vs %d", clamped, one)
+	}
+	zero, _ := p.ColOptPages([]string{"l_shipdate"}, 0)
+	if zero != 0 {
+		t.Errorf("fraction 0 should cost 0 pages, got %d", zero)
+	}
+}
+
+func TestSelectRangeAndGroupAggregate(t *testing.T) {
+	// Small deterministic projection for exact assertions.
+	var rows [][]value.Value
+	for d := 0; d < 10; d++ {
+		for s := 0; s < 4; s++ {
+			for k := 0; k < 5; k++ {
+				rows = append(rows, []value.Value{
+					value.NewInt(int64(d)),
+					value.NewInt(int64(s)),
+					value.NewFloat(float64(d*100 + s)),
+				})
+			}
+		}
+	}
+	p, err := BuildProjection("t", []string{"d", "s", "p"},
+		[]value.Kind{value.KindInt, value.KindInt, value.KindFloat},
+		[]string{"d", "s"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d > 7 selects d in {8, 9}: 40 contiguous positions.
+	ranges, err := p.SelectRange("d", value.NewInt(7), value.Null(), false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalPos int64
+	for _, r := range ranges {
+		totalPos += r.Len()
+	}
+	if totalPos != 40 {
+		t.Fatalf("selected %d positions, want 40", totalPos)
+	}
+	// COUNT group by s over the selection: each s appears 10 times.
+	groups, err := p.GroupAggregate(ranges, "s", AggCount, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	for _, g := range groups {
+		if g.Agg.Int() != 10 {
+			t.Errorf("group %v count = %v, want 10", g.Key, g.Agg)
+		}
+	}
+	// MAX(p) group by s over everything.
+	allRange := []PositionRange{{First: 1, Last: p.NumRows}}
+	maxGroups, err := p.GroupAggregate(allRange, "s", AggMax, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range maxGroups {
+		want := float64(900 + g.Key.Int())
+		if g.Agg.Float() != want {
+			t.Errorf("MAX for s=%v is %v, want %v", g.Key, g.Agg, want)
+		}
+	}
+	// SUM and MIN paths.
+	sums, err := p.GroupAggregate(allRange, "d", AggSum, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range sums {
+		if g.Agg.Float() != 30 { // sum of s over 4 suppliers x 5 rows = (0+1+2+3)*5
+			t.Errorf("SUM for d=%v is %v, want 30", g.Key, g.Agg)
+		}
+	}
+	mins, err := p.GroupAggregate(allRange, "d", AggMin, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range mins {
+		if g.Agg.Float() != float64(g.Key.Int()*100) {
+			t.Errorf("MIN for d=%v is %v", g.Key, g.Agg)
+		}
+	}
+	// Range selection on a non-RLE column still works (positions may be sparse).
+	priceRanges, err := p.SelectRange("p", value.NewFloat(900), value.Null(), true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for _, r := range priceRanges {
+		n += r.Len()
+	}
+	if n != 20 { // d=9 rows
+		t.Errorf("price range selected %d positions, want 20", n)
+	}
+	if _, err := p.SelectRange("missing", value.Null(), value.Null(), true, true); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := p.GroupAggregate(allRange, "missing", AggCount, ""); err == nil {
+		t.Error("missing group column should fail")
+	}
+	if _, err := p.GroupAggregate(allRange, "d", AggSum, "missing"); err == nil {
+		t.Error("missing aggregate column should fail")
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if EncodingRLE.String() != "RLE" || EncodingDict.String() != "DICT" || EncodingRaw.String() != "RAW" {
+		t.Error("encoding names wrong")
+	}
+	if Encoding(9).String() == "" {
+		t.Error("unknown encoding should still render")
+	}
+}
+
+func TestCompressionBeatsRowStoreFootprint(t *testing.T) {
+	// The whole point of the ColOpt baseline: the compressed projection is a
+	// small fraction of the row representation.
+	p := buildD1Like(t, 30000)
+	var rowBytes int64
+	rng := rand.New(rand.NewSource(5))
+	base := value.MustParseDate("1995-01-01").Int()
+	for i := 0; i < 30000; i++ {
+		row := []value.Value{
+			value.NewDate(base + int64(i%100)),
+			value.NewInt(int64(rng.Intn(50))),
+			value.NewFloat(float64(1000+rng.Intn(100000)) / 100),
+		}
+		rowBytes += int64(value.RowSize(row)) + 9
+	}
+	if p.TotalCompressedBytes()*2 > rowBytes {
+		t.Errorf("projection (%d bytes) should be far smaller than rows (%d bytes)",
+			p.TotalCompressedBytes(), rowBytes)
+	}
+	fmt.Fprintf(testingDiscard{}, "compressed=%d raw=%d\n", p.TotalCompressedBytes(), rowBytes)
+}
+
+type testingDiscard struct{}
+
+func (testingDiscard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,174 @@
+package colstore
+
+import (
+	"fmt"
+
+	"oldelephant/internal/value"
+)
+
+// This file implements a deliberately small native executor over compressed
+// projections. It exists for two reasons: (i) to sanity-check the row-store
+// strategies against an independent implementation operating directly on the
+// compressed columns, and (ii) to demonstrate the late-materialization style
+// of C-store query processing the paper describes (operate on positions, and
+// aggregate over run lengths without decompressing).
+
+// PositionRange is a contiguous range of 1-based positions [First, Last].
+type PositionRange struct {
+	First, Last int64
+}
+
+// Len returns the number of positions in the range.
+func (r PositionRange) Len() int64 {
+	if r.Last < r.First {
+		return 0
+	}
+	return r.Last - r.First + 1
+}
+
+// SelectRange returns the position ranges of rows whose value in the given
+// column lies in [lo, hi]. For RLE columns this touches only run metadata.
+func (p *Projection) SelectRange(col string, lo, hi value.Value, loIncl, hiIncl bool) ([]PositionRange, error) {
+	seg, err := p.Segment(col)
+	if err != nil {
+		return nil, err
+	}
+	var out []PositionRange
+	add := func(first, last int64) {
+		if len(out) > 0 && out[len(out)-1].Last+1 == first {
+			out[len(out)-1].Last = last
+			return
+		}
+		out = append(out, PositionRange{First: first, Last: last})
+	}
+	switch seg.Encoding {
+	case EncodingRLE:
+		for _, r := range seg.runs {
+			if inRange(r.Value, lo, hi, loIncl, hiIncl) {
+				add(r.First, r.First+r.Count-1)
+			}
+		}
+	default:
+		for pos := int64(1); pos <= seg.NumRows; pos++ {
+			if inRange(seg.Value(pos), lo, hi, loIncl, hiIncl) {
+				add(pos, pos)
+			}
+		}
+	}
+	return out, nil
+}
+
+// AggKind is the aggregate computed by GroupAggregate.
+type AggKind int
+
+// Aggregates supported by the native scanner.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMax
+	AggMin
+)
+
+// GroupResult is one group produced by GroupAggregate.
+type GroupResult struct {
+	Key value.Value
+	Agg value.Value
+}
+
+// GroupAggregate groups the positions in ranges by groupCol and aggregates
+// aggCol (ignored for COUNT). It works directly on the compressed segments:
+// RLE group columns contribute whole runs at a time.
+func (p *Projection) GroupAggregate(ranges []PositionRange, groupCol string, agg AggKind, aggCol string) ([]GroupResult, error) {
+	gSeg, err := p.Segment(groupCol)
+	if err != nil {
+		return nil, err
+	}
+	var aSeg *ColumnSegment
+	if agg != AggCount {
+		aSeg, err = p.Segment(aggCol)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type state struct {
+		key   value.Value
+		count int64
+		sum   float64
+		max   value.Value
+		min   value.Value
+	}
+	groups := make(map[string]*state)
+	touch := func(key value.Value) *state {
+		k := key.String()
+		st, ok := groups[k]
+		if !ok {
+			st = &state{key: key, max: value.Null(), min: value.Null()}
+			groups[k] = st
+		}
+		return st
+	}
+	addPos := func(pos int64, reps int64) {
+		key := gSeg.Value(pos)
+		st := touch(key)
+		st.count += reps
+		if aSeg != nil {
+			v := aSeg.Value(pos)
+			st.sum += v.Float() * float64(reps)
+			if st.max.IsNull() || value.Compare(v, st.max) > 0 {
+				st.max = v
+			}
+			if st.min.IsNull() || value.Compare(v, st.min) < 0 {
+				st.min = v
+			}
+		}
+	}
+	for _, r := range ranges {
+		if gSeg.Encoding == EncodingRLE && agg == AggCount {
+			// Count whole (clipped) group runs without visiting positions.
+			for _, run := range gSeg.runs {
+				first, last := run.First, run.First+run.Count-1
+				if last < r.First || first > r.Last {
+					continue
+				}
+				if first < r.First {
+					first = r.First
+				}
+				if last > r.Last {
+					last = r.Last
+				}
+				touch(run.Value).count += last - first + 1
+			}
+			continue
+		}
+		for pos := r.First; pos <= r.Last; pos++ {
+			addPos(pos, 1)
+		}
+	}
+	out := make([]GroupResult, 0, len(groups))
+	for _, st := range groups {
+		var v value.Value
+		switch agg {
+		case AggCount:
+			v = value.NewInt(st.count)
+		case AggSum:
+			v = value.NewFloat(st.sum)
+		case AggMax:
+			v = st.max
+		case AggMin:
+			v = st.min
+		default:
+			return nil, fmt.Errorf("colstore: unsupported aggregate %d", agg)
+		}
+		out = append(out, GroupResult{Key: st.key, Agg: v})
+	}
+	sortGroupResults(out)
+	return out, nil
+}
+
+func sortGroupResults(out []GroupResult) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && value.Compare(out[j].Key, out[j-1].Key) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package ctable
+
+import (
+	"strings"
+	"testing"
+
+	"oldelephant/internal/engine"
+	"oldelephant/internal/value"
+)
+
+// paperExampleEngine loads the 12-row table of Figure 3(a) of the paper.
+func paperExampleEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.Default()
+	if _, err := e.Execute("CREATE TABLE t (a INT, b INT, c INT, PRIMARY KEY (a, b, c))"); err != nil {
+		t.Fatal(err)
+	}
+	rows := [][]int64{
+		{1, 1, 1}, {1, 1, 4}, {1, 2, 4}, {1, 2, 5}, {1, 2, 5},
+		{2, 1, 1}, {2, 1, 1}, {2, 3, 1}, {2, 3, 2}, {2, 3, 2}, {2, 3, 3}, {2, 3, 4},
+	}
+	var load [][]value.Value
+	for _, r := range rows {
+		load = append(load, []value.Value{value.NewInt(r[0]), value.NewInt(r[1]), value.NewInt(r[2])})
+	}
+	if err := e.BulkLoad("t", load); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestPaperFigure3Example(t *testing.T) {
+	e := paperExampleEngine(t)
+	b := NewBuilder(e)
+	d, err := b.Build("fig3", "SELECT a, b, c FROM t", []string{"a", "b", "c"}, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows != 12 {
+		t.Fatalf("NumRows = %d", d.NumRows)
+	}
+	// Ta: (1,1,5), (6,2,7) — exactly as in Figure 3(b).
+	ta, ok := d.Column("a")
+	if !ok || ta.Dense {
+		t.Fatalf("column a metadata = %+v", ta)
+	}
+	res, err := e.Query("SELECT f, v, c FROM " + ta.Table + " ORDER BY f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA := [][3]int64{{1, 1, 5}, {6, 2, 7}}
+	if len(res.Rows) != len(wantA) {
+		t.Fatalf("Ta rows = %v", res.Rows)
+	}
+	for i, w := range wantA {
+		r := res.Rows[i]
+		if r[0].Int() != w[0] || r[1].Int() != w[1] || r[2].Int() != w[2] {
+			t.Errorf("Ta row %d = %v, want %v", i, r, w)
+		}
+	}
+	// Tb: (1,1,2), (3,2,3), (6,1,2), (8,3,5).
+	tb, _ := d.Column("b")
+	res, err = e.Query("SELECT f, v, c FROM " + tb.Table + " ORDER BY f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := [][3]int64{{1, 1, 2}, {3, 2, 3}, {6, 1, 2}, {8, 3, 5}}
+	if len(res.Rows) != len(wantB) {
+		t.Fatalf("Tb rows = %v", res.Rows)
+	}
+	for i, w := range wantB {
+		r := res.Rows[i]
+		if r[0].Int() != w[0] || r[1].Int() != w[1] || r[2].Int() != w[2] {
+			t.Errorf("Tb row %d = %v, want %v", i, r, w)
+		}
+	}
+	// Tc barely compresses (9 runs over 12 rows), so it uses the dense (f, v)
+	// representation, exactly like T_C in Figure 3(b).
+	tc, _ := d.Column("c")
+	if !tc.Dense {
+		t.Errorf("column c should use the dense representation (runs=%d)", tc.Runs)
+	}
+	res, err = e.Query("SELECT f, v FROM " + tc.Table + " ORDER BY f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("Tc rows = %d, want 12", len(res.Rows))
+	}
+	if res.Rows[0][1].Int() != 1 || res.Rows[1][1].Int() != 4 || res.Rows[11][1].Int() != 4 {
+		t.Errorf("Tc values wrong: first=%v second=%v last=%v", res.Rows[0], res.Rows[1], res.Rows[11])
+	}
+	// The invariants of Section 2.2.1 hold.
+	if err := b.Verify(d); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// Design helpers.
+	if !d.HasColumn("A") || d.HasColumn("z") {
+		t.Error("HasColumn wrong")
+	}
+	if d.TotalRuns() != 2+4+12 {
+		t.Errorf("TotalRuns = %d", d.TotalRuns())
+	}
+	// The secondary covering index on v exists on each c-table.
+	tab, err := e.Catalog().Table(ta.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Secondary) != 1 {
+		t.Errorf("expected a value index on %s", ta.Table)
+	}
+}
+
+func TestRunsBreakOnEarlierSortColumns(t *testing.T) {
+	// Column values that repeat across a boundary of the previous sort column
+	// must still start a new run (the paper's "additionally agree with all the
+	// previous sort columns").
+	e := engine.Default()
+	if _, err := e.Execute("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))"); err != nil {
+		t.Fatal(err)
+	}
+	load := [][]value.Value{
+		{value.NewInt(1), value.NewInt(7)},
+		{value.NewInt(1), value.NewInt(7)},
+		{value.NewInt(2), value.NewInt(7)}, // same b value, new a run
+		{value.NewInt(2), value.NewInt(7)},
+	}
+	if err := e.BulkLoad("t", load); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(e)
+	b.DenseThreshold = 1.0 // force the run representation even for short runs
+	d, err := b.Build("brk", "SELECT a, b FROM t", []string{"a", "b"}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := d.Column("b")
+	res, err := e.Query("SELECT f, v, c FROM " + tb.Table + " ORDER BY f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("b should have 2 runs (split at the a boundary), got %d", len(res.Rows))
+	}
+	if res.Rows[0][2].Int() != 2 || res.Rows[1][2].Int() != 2 {
+		t.Errorf("run lengths = %v", res.Rows)
+	}
+	if err := b.Verify(d); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	e := paperExampleEngine(t)
+	b := NewBuilder(e)
+	if _, err := b.Build("x", "SELECT a FROM t", nil, nil); err == nil {
+		t.Error("empty column list should fail")
+	}
+	if _, err := b.Build("x", "SELECT a FROM missing", []string{"a"}, []string{"a"}); err == nil {
+		t.Error("bad source SQL should fail")
+	}
+	if _, err := b.Build("x", "SELECT a FROM t", []string{"a", "zz"}, []string{"a"}); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := b.Build("x", "SELECT a FROM t", []string{"a"}, []string{"b"}); err == nil {
+		t.Error("sort column outside design should fail")
+	}
+	// Building the same design twice collides on table names.
+	if _, err := b.Build("dup", "SELECT a FROM t", []string{"a"}, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build("dup", "SELECT a FROM t", []string{"a"}, []string{"a"}); err == nil {
+		t.Error("duplicate design should fail")
+	}
+}
+
+func TestJoinSourceDesign(t *testing.T) {
+	// A design over a join (like the paper's D2) encodes the join result.
+	e := engine.Default()
+	if _, err := e.Execute("CREATE TABLE o (ok INT, od DATE, PRIMARY KEY (ok))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("CREATE TABLE l (lk INT, ln INT, sk INT, sd DATE, PRIMARY KEY (lk, ln))"); err != nil {
+		t.Fatal(err)
+	}
+	var oRows, lRows [][]value.Value
+	base := value.MustParseDate("1995-01-01").Int()
+	for i := 0; i < 50; i++ {
+		oRows = append(oRows, []value.Value{value.NewInt(int64(i)), value.NewDate(base + int64(i%10))})
+		for j := 0; j < 3; j++ {
+			lRows = append(lRows, []value.Value{
+				value.NewInt(int64(i)), value.NewInt(int64(j)),
+				value.NewInt(int64((i + j) % 7)), value.NewDate(base + int64(i%10) + int64(j)),
+			})
+		}
+	}
+	if err := e.BulkLoad("o", oRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BulkLoad("l", lRows); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(e)
+	d, err := b.Build("d2", "SELECT od, sk, sd FROM l, o WHERE lk = ok",
+		[]string{"od", "sk", "sd"}, []string{"od", "sk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows != 150 {
+		t.Fatalf("design rows = %d, want 150", d.NumRows)
+	}
+	if err := b.Verify(d); err != nil {
+		t.Error(err)
+	}
+	// The leading column compresses to at most 10 runs (10 distinct dates).
+	od, _ := d.Column("od")
+	if od.Runs > 10 {
+		t.Errorf("od runs = %d, want <= 10", od.Runs)
+	}
+	// COUNT(*) over the design equals the source row count.
+	sumC, err := e.Query("SELECT SUM(c) FROM " + od.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumC.Rows[0][0].Int() != 150 {
+		t.Errorf("sum of run lengths = %v, want 150", sumC.Rows[0][0])
+	}
+	if TableName("D2", "OD") != "d2_od" {
+		t.Errorf("TableName = %q", TableName("D2", "OD"))
+	}
+}
+
+func TestSkipValueIndexOption(t *testing.T) {
+	e := paperExampleEngine(t)
+	b := NewBuilder(e)
+	b.SkipValueIndex = true
+	d, err := b.Build("noix", "SELECT a, b FROM t", []string{"a", "b"}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := d.Column("a")
+	tab, err := e.Catalog().Table(ta.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Secondary) != 0 {
+		t.Error("SkipValueIndex should suppress the v index")
+	}
+	if !strings.HasPrefix(ta.Table, "noix_") {
+		t.Errorf("table name = %q", ta.Table)
+	}
+}

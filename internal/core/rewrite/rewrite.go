@@ -1,0 +1,518 @@
+// Package rewrite implements the paper's mechanical query rewriting: a
+// SELECT over base tables is translated into an equivalent SELECT over the
+// c-tables of a ctable.Design (Section 2.2.2), including the two
+// optimizations of Section 2.2.3 that the paper calls out:
+//
+//   - aggregation over compressed data: COUNT(*) becomes SUM of run lengths,
+//     SUM(x) becomes SUM(v*c), MIN/MAX operate on run values directly;
+//   - the range-collapse rewriting of Figure 4(b): when the filtered column
+//     is the design's leading sort column and is not needed in the output,
+//     its qualifying runs are contiguous, so the band join can be driven by
+//     a single (MIN(f), MAX(f+c-1)) pair computed in a derived table.
+//
+// The rewriter is purely syntactic (AST to AST); the row-store planner then
+// turns the band joins into index-nested-loop plans on the c-tables'
+// clustered f indexes and covering v indexes.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oldelephant/internal/core/ctable"
+	"oldelephant/internal/sql"
+	"oldelephant/internal/value"
+)
+
+// Rewriter rewrites queries against one c-table design.
+type Rewriter struct {
+	Design *ctable.Design
+	// DisableRangeCollapse turns off the Figure 4(b) optimization so the
+	// plain band-join rewriting of Figure 4(a) is produced instead.
+	DisableRangeCollapse bool
+	// ExtraHints are appended to the rewritten query's OPTION clause.
+	ExtraHints []string
+}
+
+// New returns a rewriter over the given design.
+func New(d *ctable.Design) *Rewriter { return &Rewriter{Design: d} }
+
+// RewriteSQL parses a SELECT statement, rewrites it and renders it back to SQL.
+func (r *Rewriter) RewriteSQL(query string) (string, error) {
+	stmt, err := sql.ParseSelect(query)
+	if err != nil {
+		return "", err
+	}
+	out, err := r.Rewrite(stmt)
+	if err != nil {
+		return "", err
+	}
+	return out.String(), nil
+}
+
+// refInfo tracks one referenced source column and its c-table alias.
+type refInfo struct {
+	column string
+	table  ctable.ColumnTable
+	alias  string
+	// filters are the predicate conjuncts on this column (already rewritten
+	// to reference <alias>.v).
+	filters []sql.Expr
+	// collapsed marks the column as replaced by the range-collapse derived table.
+	collapsed bool
+	inOutput  bool
+}
+
+// Rewrite translates a base-table query into a c-table query.
+func (r *Rewriter) Rewrite(stmt *sql.SelectStmt) (*sql.SelectStmt, error) {
+	if stmt.Distinct {
+		return nil, fmt.Errorf("rewrite: DISTINCT queries are not supported")
+	}
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("rewrite: query has no FROM clause")
+	}
+	for _, f := range stmt.From {
+		if f.Subquery != nil {
+			return nil, fmt.Errorf("rewrite: derived tables are not supported")
+		}
+	}
+
+	refs := make(map[string]*refInfo) // keyed by lower-case column name
+	touch := func(col string) (*refInfo, error) {
+		key := strings.ToLower(col)
+		if ri, ok := refs[key]; ok {
+			return ri, nil
+		}
+		ct, ok := r.Design.Column(col)
+		if !ok {
+			return nil, fmt.Errorf("rewrite: design %q does not encode column %q", r.Design.Name, col)
+		}
+		ri := &refInfo{column: ct.Column, table: ct}
+		refs[key] = ri
+		return ri, nil
+	}
+
+	// Classify WHERE conjuncts: single-column constant predicates become
+	// predicates on the column's c-table values; equality joins between two
+	// columns are the design's own join predicates and are dropped.
+	for _, c := range splitConjuncts(stmt.Where) {
+		col, rewritten, isJoin, err := classifyConjunct(c)
+		if err != nil {
+			return nil, err
+		}
+		if isJoin {
+			continue
+		}
+		ri, err := touch(col)
+		if err != nil {
+			return nil, err
+		}
+		ri.filters = append(ri.filters, rewritten)
+	}
+
+	// Group-by columns.
+	var groupCols []string
+	for _, g := range stmt.GroupBy {
+		ref, ok := g.(*sql.ColRef)
+		if !ok {
+			return nil, fmt.Errorf("rewrite: GROUP BY supports column references only")
+		}
+		ri, err := touch(ref.Column)
+		if err != nil {
+			return nil, err
+		}
+		ri.inOutput = true
+		groupCols = append(groupCols, ri.column)
+	}
+
+	// Select items: plain group columns or aggregates over a single column.
+	type outItem struct {
+		isAgg  bool
+		agg    string // COUNT/SUM/MIN/MAX/AVG
+		column string // aggregate argument or group column
+		star   bool
+		alias  string
+	}
+	var items []outItem
+	for _, item := range stmt.Select {
+		if item.Star {
+			return nil, fmt.Errorf("rewrite: SELECT * is not supported")
+		}
+		switch e := item.Expr.(type) {
+		case *sql.ColRef:
+			ri, err := touch(e.Column)
+			if err != nil {
+				return nil, err
+			}
+			ri.inOutput = true
+			items = append(items, outItem{column: ri.column, alias: outputAlias(item, ri.column)})
+		case *sql.FuncCall:
+			if !e.IsAggregate() {
+				return nil, fmt.Errorf("rewrite: unsupported function %q", e.Name)
+			}
+			it := outItem{isAgg: true, agg: e.Name, star: e.Star, alias: outputAlias(item, "")}
+			if !e.Star {
+				if len(e.Args) != 1 {
+					return nil, fmt.Errorf("rewrite: aggregate %s expects one argument", e.Name)
+				}
+				argRef, ok := e.Args[0].(*sql.ColRef)
+				if !ok {
+					return nil, fmt.Errorf("rewrite: aggregate arguments must be plain columns, got %q", e.Args[0].String())
+				}
+				ri, err := touch(argRef.Column)
+				if err != nil {
+					return nil, err
+				}
+				ri.inOutput = true
+				it.column = ri.column
+			}
+			items = append(items, it)
+		default:
+			return nil, fmt.Errorf("rewrite: unsupported select item %q", item.Expr.String())
+		}
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("rewrite: query references no encodable columns")
+	}
+
+	// Order referenced columns by design depth and assign aliases T0, T1, ...
+	ordered := make([]*refInfo, 0, len(refs))
+	for _, ri := range refs {
+		ordered = append(ordered, ri)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].table.Depth < ordered[j].table.Depth })
+	for i, ri := range ordered {
+		ri.alias = fmt.Sprintf("T%d", i)
+	}
+
+	// Range-collapse optimization: the shallowest referenced column is the
+	// design's leading column, it is filtered, and it is not in the output.
+	collapse := false
+	lead := ordered[0]
+	if !r.DisableRangeCollapse && len(ordered) > 1 &&
+		len(lead.filters) > 0 && !lead.inOutput &&
+		strings.EqualFold(lead.table.Column, r.Design.Columns[0].Column) {
+		collapse = true
+		lead.collapsed = true
+	}
+
+	out := &sql.SelectStmt{Limit: stmt.Limit, Offset: stmt.Offset}
+	out.Hints = append(out.Hints, r.ExtraHints...)
+
+	var where []sql.Expr
+	// FROM clause and band-join chain.
+	if collapse {
+		sub := r.collapseSubquery(lead)
+		out.From = append(out.From, sql.TableRef{Subquery: sub, Alias: lead.alias + "Agg"})
+		// The first non-collapsed table joins to the collapsed range.
+		next := ordered[1]
+		out.From = append(out.From, sql.TableRef{Table: next.table.Table, Alias: next.alias})
+		where = append(where, &sql.BetweenExpr{
+			E:  col(next.alias, "f"),
+			Lo: col(lead.alias+"Agg", "xmin"),
+			Hi: col(lead.alias+"Agg", "xmax"),
+		})
+		for i := 2; i < len(ordered); i++ {
+			out.From = append(out.From, sql.TableRef{Table: ordered[i].table.Table, Alias: ordered[i].alias})
+			where = append(where, bandJoin(ordered[i-1], ordered[i]))
+		}
+	} else {
+		for i, ri := range ordered {
+			out.From = append(out.From, sql.TableRef{Table: ri.table.Table, Alias: ri.alias})
+			if i > 0 {
+				where = append(where, bandJoin(ordered[i-1], ri))
+			}
+		}
+	}
+	// Filters on non-collapsed columns.
+	for _, ri := range ordered {
+		if ri.collapsed {
+			continue
+		}
+		for _, f := range ri.filters {
+			where = append(where, qualify(f, ri.alias))
+		}
+	}
+	out.Where = andAll(where)
+
+	// Deepest referenced table drives run-length aggregation.
+	deepest := ordered[len(ordered)-1]
+
+	// SELECT list.
+	aliasOf := func(colName string) string {
+		return refs[strings.ToLower(colName)].alias
+	}
+	for _, it := range items {
+		switch {
+		case !it.isAgg:
+			out.Select = append(out.Select, sql.SelectItem{
+				Expr:  col(aliasOf(it.column), "v"),
+				Alias: it.alias,
+			})
+		case it.agg == "COUNT":
+			out.Select = append(out.Select, sql.SelectItem{Expr: countExpr(deepest), Alias: it.alias})
+		case it.agg == "SUM":
+			out.Select = append(out.Select, sql.SelectItem{
+				Expr:  sumExpr(aliasOf(it.column), deepest),
+				Alias: it.alias,
+			})
+		case it.agg == "AVG":
+			out.Select = append(out.Select, sql.SelectItem{
+				Expr:  &sql.BinExpr{Op: "/", L: sumExpr(aliasOf(it.column), deepest), R: countExpr(deepest)},
+				Alias: it.alias,
+			})
+		case it.agg == "MIN" || it.agg == "MAX":
+			out.Select = append(out.Select, sql.SelectItem{
+				Expr:  &sql.FuncCall{Name: it.agg, Args: []sql.Expr{col(aliasOf(it.column), "v")}},
+				Alias: it.alias,
+			})
+		default:
+			return nil, fmt.Errorf("rewrite: unsupported aggregate %q", it.agg)
+		}
+	}
+
+	// GROUP BY and ORDER BY.
+	for _, g := range groupCols {
+		out.GroupBy = append(out.GroupBy, col(aliasOf(g), "v"))
+	}
+	for _, o := range stmt.OrderBy {
+		ref, ok := o.Expr.(*sql.ColRef)
+		if !ok {
+			return nil, fmt.Errorf("rewrite: ORDER BY supports column references only")
+		}
+		// Order by the output label, which the rewriting preserves.
+		out.OrderBy = append(out.OrderBy, sql.OrderItem{Expr: &sql.ColRef{Column: outputLabelFor(stmt, ref)}, Desc: o.Desc})
+	}
+	if stmt.Having != nil {
+		return nil, fmt.Errorf("rewrite: HAVING is not supported")
+	}
+	return out, nil
+}
+
+// outputAlias labels a rewritten select item so the result columns line up
+// with the original query's.
+func outputAlias(item sql.SelectItem, fallback string) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if ref, ok := item.Expr.(*sql.ColRef); ok {
+		return ref.Column
+	}
+	if fallback != "" {
+		return fallback
+	}
+	return sanitizeAlias(item.Expr.String())
+}
+
+// outputLabelFor resolves the label an ORDER BY reference will have in the
+// rewritten output (the original alias, or the bare column name).
+func outputLabelFor(stmt *sql.SelectStmt, ref *sql.ColRef) string {
+	for _, item := range stmt.Select {
+		if item.Star {
+			continue
+		}
+		if r, ok := item.Expr.(*sql.ColRef); ok && strings.EqualFold(r.Column, ref.Column) {
+			return outputAlias(item, r.Column)
+		}
+	}
+	return ref.Column
+}
+
+// sanitizeAlias turns an arbitrary expression rendering into an identifier.
+func sanitizeAlias(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteRune('_')
+		}
+	}
+	return sb.String()
+}
+
+// collapseSubquery builds the Figure 4(b) derived table for the leading,
+// filtered, non-output column: SELECT MIN(f) AS xmin, MAX(f+c-1) AS xmax ...
+func (r *Rewriter) collapseSubquery(lead *refInfo) *sql.SelectStmt {
+	var hiExpr sql.Expr = col("", "f")
+	if !lead.table.Dense {
+		hiExpr = &sql.BinExpr{Op: "-",
+			L: &sql.BinExpr{Op: "+", L: col("", "f"), R: col("", "c")},
+			R: &sql.Literal{Val: intLit(1)}}
+	}
+	sub := &sql.SelectStmt{
+		Limit: -1,
+		Select: []sql.SelectItem{
+			{Expr: &sql.FuncCall{Name: "MIN", Args: []sql.Expr{col("", "f")}}, Alias: "xmin"},
+			{Expr: &sql.FuncCall{Name: "MAX", Args: []sql.Expr{hiExpr}}, Alias: "xmax"},
+		},
+		From: []sql.TableRef{{Table: lead.table.Table}},
+	}
+	var preds []sql.Expr
+	for _, f := range lead.filters {
+		preds = append(preds, qualify(f, ""))
+	}
+	sub.Where = andAll(preds)
+	return sub
+}
+
+// bandJoin builds deeper.f BETWEEN shallower.f AND shallower.f + shallower.c - 1
+// (or an equality when the shallower table is dense, i.e. every run has length 1).
+func bandJoin(shallower, deeper *refInfo) sql.Expr {
+	if shallower.table.Dense {
+		return &sql.BinExpr{Op: "=", L: col(deeper.alias, "f"), R: col(shallower.alias, "f")}
+	}
+	return &sql.BetweenExpr{
+		E:  col(deeper.alias, "f"),
+		Lo: col(shallower.alias, "f"),
+		Hi: &sql.BinExpr{Op: "-",
+			L: &sql.BinExpr{Op: "+", L: col(shallower.alias, "f"), R: col(shallower.alias, "c")},
+			R: &sql.Literal{Val: intLit(1)}},
+	}
+}
+
+// countExpr implements COUNT(*) over the band-join result: the sum of the
+// deepest table's run lengths (or a plain COUNT(*) when that table is dense).
+func countExpr(deepest *refInfo) sql.Expr {
+	if deepest.table.Dense {
+		return &sql.FuncCall{Name: "COUNT", Star: true}
+	}
+	return &sql.FuncCall{Name: "SUM", Args: []sql.Expr{col(deepest.alias, "c")}}
+}
+
+// sumExpr implements SUM(x): the run value of x's c-table weighted by the run
+// length of the deepest referenced table.
+func sumExpr(argAlias string, deepest *refInfo) sql.Expr {
+	if deepest.table.Dense {
+		return &sql.FuncCall{Name: "SUM", Args: []sql.Expr{col(argAlias, "v")}}
+	}
+	return &sql.FuncCall{Name: "SUM", Args: []sql.Expr{
+		&sql.BinExpr{Op: "*", L: col(argAlias, "v"), R: col(deepest.alias, "c")},
+	}}
+}
+
+// classifyConjunct splits a WHERE conjunct into either a single-column
+// constant predicate (returning the column and the predicate rewritten onto
+// the placeholder column "v") or a column-to-column equality join.
+func classifyConjunct(c sql.Expr) (column string, rewritten sql.Expr, isJoin bool, err error) {
+	switch e := c.(type) {
+	case *sql.BinExpr:
+		lRef, lIsRef := e.L.(*sql.ColRef)
+		rRef, rIsRef := e.R.(*sql.ColRef)
+		if lIsRef && rIsRef {
+			if e.Op == "=" {
+				return "", nil, true, nil
+			}
+			return "", nil, false, fmt.Errorf("rewrite: unsupported join predicate %q", c.String())
+		}
+		if lIsRef && isConstant(e.R) {
+			return lRef.Column, &sql.BinExpr{Op: e.Op, L: col("", "v"), R: e.R}, false, nil
+		}
+		if rIsRef && isConstant(e.L) {
+			return rRef.Column, &sql.BinExpr{Op: flip(e.Op), L: col("", "v"), R: e.L}, false, nil
+		}
+		return "", nil, false, fmt.Errorf("rewrite: unsupported predicate %q", c.String())
+	case *sql.BetweenExpr:
+		ref, ok := e.E.(*sql.ColRef)
+		if !ok || !isConstant(e.Lo) || !isConstant(e.Hi) || e.Not {
+			return "", nil, false, fmt.Errorf("rewrite: unsupported predicate %q", c.String())
+		}
+		return ref.Column, &sql.BetweenExpr{E: col("", "v"), Lo: e.Lo, Hi: e.Hi}, false, nil
+	case *sql.InExpr:
+		ref, ok := e.E.(*sql.ColRef)
+		if !ok || e.Not {
+			return "", nil, false, fmt.Errorf("rewrite: unsupported predicate %q", c.String())
+		}
+		for _, item := range e.List {
+			if !isConstant(item) {
+				return "", nil, false, fmt.Errorf("rewrite: unsupported predicate %q", c.String())
+			}
+		}
+		return ref.Column, &sql.InExpr{E: col("", "v"), List: e.List}, false, nil
+	default:
+		return "", nil, false, fmt.Errorf("rewrite: unsupported predicate %q", c.String())
+	}
+}
+
+func isConstant(e sql.Expr) bool {
+	switch t := e.(type) {
+	case *sql.Literal:
+		return true
+	case *sql.BinExpr:
+		return isConstant(t.L) && isConstant(t.R)
+	default:
+		return false
+	}
+}
+
+func flip(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// qualify rewrites the placeholder unqualified "v"/"f"/"c" references in a
+// predicate to belong to the given alias (empty alias leaves them unqualified).
+func qualify(e sql.Expr, alias string) sql.Expr {
+	switch t := e.(type) {
+	case *sql.ColRef:
+		if t.Table == "" {
+			return &sql.ColRef{Table: alias, Column: t.Column}
+		}
+		return t
+	case *sql.BinExpr:
+		return &sql.BinExpr{Op: t.Op, L: qualify(t.L, alias), R: qualify(t.R, alias)}
+	case *sql.BetweenExpr:
+		return &sql.BetweenExpr{E: qualify(t.E, alias), Lo: qualify(t.Lo, alias), Hi: qualify(t.Hi, alias), Not: t.Not}
+	case *sql.InExpr:
+		list := make([]sql.Expr, len(t.List))
+		for i, item := range t.List {
+			list[i] = qualify(item, alias)
+		}
+		return &sql.InExpr{E: qualify(t.E, alias), List: list, Not: t.Not}
+	case *sql.NotExpr:
+		return &sql.NotExpr{E: qualify(t.E, alias)}
+	default:
+		return e
+	}
+}
+
+// col builds a (possibly qualified) column reference.
+func col(table, name string) *sql.ColRef { return &sql.ColRef{Table: table, Column: name} }
+
+func andAll(preds []sql.Expr) sql.Expr {
+	var out sql.Expr
+	for _, p := range preds {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = &sql.BinExpr{Op: "AND", L: out, R: p}
+		}
+	}
+	return out
+}
+
+func splitConjuncts(e sql.Expr) []sql.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sql.BinExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+func intLit(i int64) value.Value { return value.NewInt(i) }

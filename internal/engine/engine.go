@@ -1,0 +1,441 @@
+// Package engine ties the storage, catalog, SQL and planning layers into a
+// usable database engine: it executes DDL, INSERT and SELECT statements,
+// bulk-loads tables, and reports per-query execution statistics (wall time
+// and page I/O) that the benchmark harness converts into modeled disk time.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"oldelephant/internal/catalog"
+	"oldelephant/internal/exec"
+	"oldelephant/internal/plan"
+	"oldelephant/internal/sql"
+	"oldelephant/internal/storage"
+	"oldelephant/internal/value"
+)
+
+// Options configure a new engine instance.
+type Options struct {
+	// BufferPoolPages bounds the buffer pool; 0 means unbounded.
+	BufferPoolPages int
+	// TupleOverhead is the per-tuple storage overhead in bytes. Negative
+	// selects storage.DefaultTupleOverhead (9 bytes, as in the paper).
+	TupleOverhead int
+}
+
+// Engine is a single-node, in-process database instance.
+type Engine struct {
+	pager *storage.Pager
+	cat   *catalog.Catalog
+	views map[string]*ViewDef
+}
+
+// ViewDef records a materialized view: its defining query and backing table.
+type ViewDef struct {
+	Name  string
+	Query *sql.SelectStmt
+	// Table is the name of the table holding the materialized rows.
+	Table string
+	// GroupColumns are the output labels that came from GROUP BY columns.
+	GroupColumns []string
+	// AggColumns are the output labels that came from aggregate expressions,
+	// parallel to Aggregates.
+	AggColumns []string
+	// Aggregates are the defining aggregate calls (canonical SQL text).
+	Aggregates []string
+}
+
+// New creates an empty engine.
+func New(opts Options) *Engine {
+	overhead := opts.TupleOverhead
+	if overhead < 0 {
+		overhead = storage.DefaultTupleOverhead
+	}
+	pager := storage.NewPager(opts.BufferPoolPages)
+	return &Engine{
+		pager: pager,
+		cat:   catalog.New(pager, overhead),
+		views: make(map[string]*ViewDef),
+	}
+}
+
+// Default returns an engine with the default options used throughout the
+// paper reproduction: unbounded buffer pool and 9 bytes of tuple overhead.
+func Default() *Engine { return New(Options{TupleOverhead: -1}) }
+
+// Catalog exposes the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Pager exposes the engine's pager (for I/O accounting).
+func (e *Engine) Pager() *storage.Pager { return e.pager }
+
+// Views returns the definitions of all materialized views, keyed by lower-case name.
+func (e *Engine) Views() map[string]*ViewDef { return e.views }
+
+// View returns a materialized view definition by name.
+func (e *Engine) View(name string) (*ViewDef, bool) {
+	v, ok := e.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// Stats captures the cost of executing one statement.
+type Stats struct {
+	// Wall is the elapsed wall-clock time of execution (excluding parsing).
+	Wall time.Duration
+	// IO is the page I/O performed while executing.
+	IO storage.IOStats
+	// RowsReturned is the number of result rows.
+	RowsReturned int
+}
+
+// Result is the outcome of executing a statement. DDL statements return no
+// rows but still carry statistics.
+type Result struct {
+	Columns []string
+	Rows    []exec.Row
+	Plan    string
+	Stats   Stats
+}
+
+// ResetBufferPool empties the buffer pool so the next query runs cold, the
+// way every measurement in the paper is taken.
+func (e *Engine) ResetBufferPool() { e.pager.ResetCache() }
+
+// Execute parses and runs one SQL statement (SELECT, INSERT, CREATE TABLE /
+// INDEX / MATERIALIZED VIEW, DROP TABLE).
+func (e *Engine) Execute(sqlText string) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(stmt)
+}
+
+// ExecuteStmt runs an already-parsed statement.
+func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return e.runSelect(s)
+	case *sql.CreateTableStmt:
+		return e.runCreateTable(s)
+	case *sql.CreateIndexStmt:
+		return e.runCreateIndex(s)
+	case *sql.CreateViewStmt:
+		return e.runCreateView(s)
+	case *sql.InsertStmt:
+		return e.runInsert(s)
+	case *sql.DropTableStmt:
+		return e.runDropTable(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// Query runs a SELECT statement and returns its result.
+func (e *Engine) Query(sqlText string) (*Result, error) {
+	stmt, err := sql.ParseSelect(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return e.runSelect(stmt)
+}
+
+// QueryStmt runs an already-parsed SELECT.
+func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) { return e.runSelect(stmt) }
+
+func (e *Engine) runSelect(stmt *sql.SelectStmt) (*Result, error) {
+	planner := plan.NewPlanner(e.cat)
+	pl, err := planner.PlanSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	before := e.pager.Stats()
+	start := time.Now()
+	rows, err := exec.Drain(pl.Root)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	after := e.pager.Stats()
+	return &Result{
+		Columns: pl.Columns,
+		Rows:    rows,
+		Plan:    pl.Explain,
+		Stats: Stats{
+			Wall:         elapsed,
+			IO:           after.Sub(before),
+			RowsReturned: len(rows),
+		},
+	}, nil
+}
+
+// Explain plans a SELECT and returns the textual plan without executing it.
+func (e *Engine) Explain(sqlText string) (string, error) {
+	stmt, err := sql.ParseSelect(sqlText)
+	if err != nil {
+		return "", err
+	}
+	pl, err := plan.NewPlanner(e.cat).PlanSelect(stmt)
+	if err != nil {
+		return "", err
+	}
+	return pl.Explain, nil
+}
+
+// columnKind maps a SQL type name to a value kind.
+func columnKind(typ string) (value.Kind, error) {
+	switch strings.ToUpper(typ) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT":
+		return value.KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return value.KindFloat, nil
+	case "DATE", "DATETIME", "TIMESTAMP":
+		return value.KindDate, nil
+	case "CHAR", "VARCHAR", "TEXT", "STRING", "NVARCHAR":
+		return value.KindString, nil
+	case "BOOL", "BOOLEAN", "BIT":
+		return value.KindBool, nil
+	default:
+		return value.KindNull, fmt.Errorf("engine: unsupported column type %q", typ)
+	}
+}
+
+func (e *Engine) runCreateTable(s *sql.CreateTableStmt) (*Result, error) {
+	cols := make([]catalog.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		kind, err := columnKind(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = catalog.Column{Name: c.Name, Kind: kind}
+	}
+	if _, err := e.cat.CreateTable(s.Name, cols, s.PrimaryKey); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) runCreateIndex(s *sql.CreateIndexStmt) (*Result, error) {
+	if s.Clustered {
+		return nil, fmt.Errorf("engine: declare the clustered key as PRIMARY KEY in CREATE TABLE (table %q)", s.Table)
+	}
+	if _, err := e.cat.CreateIndex(s.Name, s.Table, s.Columns, s.Include, s.Unique); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// runCreateView materializes the view query into a table clustered on the
+// view's group-by columns and records the definition for view matching.
+func (e *Engine) runCreateView(s *sql.CreateViewStmt) (*Result, error) {
+	if !s.Materialized {
+		return nil, fmt.Errorf("engine: only MATERIALIZED views are supported")
+	}
+	name := strings.ToLower(s.Name)
+	if _, exists := e.views[name]; exists {
+		return nil, fmt.Errorf("engine: view %q already exists", s.Name)
+	}
+	res, err := e.runSelect(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	// Column kinds come from the first row when available; group-by columns
+	// default to their base kinds via the planner schema, aggregates to INT.
+	kinds := make([]value.Kind, len(res.Columns))
+	for i := range kinds {
+		kinds[i] = value.KindInt
+	}
+	if len(res.Rows) > 0 {
+		for i, v := range res.Rows[0] {
+			if !v.IsNull() {
+				kinds[i] = v.Kind
+			}
+		}
+	}
+	cols := make([]catalog.Column, len(res.Columns))
+	for i, cname := range res.Columns {
+		cols[i] = catalog.Column{Name: cname, Kind: kinds[i]}
+	}
+	// Identify group-by output columns (they become the clustered key).
+	def := &ViewDef{Name: s.Name, Query: s.Query, Table: s.Name}
+	groupNames := make(map[string]bool)
+	for _, g := range s.Query.GroupBy {
+		if ref, ok := g.(*sql.ColRef); ok {
+			groupNames[strings.ToLower(ref.Column)] = true
+		}
+	}
+	var clusterKey []string
+	for i, item := range s.Query.Select {
+		label := res.Columns[i]
+		if item.Star {
+			continue
+		}
+		if ref, ok := item.Expr.(*sql.ColRef); ok && groupNames[strings.ToLower(ref.Column)] {
+			def.GroupColumns = append(def.GroupColumns, label)
+			clusterKey = append(clusterKey, label)
+			continue
+		}
+		def.AggColumns = append(def.AggColumns, label)
+		def.Aggregates = append(def.Aggregates, strings.ToUpper(item.Expr.String()))
+	}
+	tbl, err := e.cat.CreateTable(s.Name, cols, clusterKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := tbl.BulkLoad(res.Rows); err != nil {
+		return nil, err
+	}
+	e.views[name] = def
+	return &Result{Stats: res.Stats}, nil
+}
+
+func (e *Engine) runInsert(s *sql.InsertStmt) (*Result, error) {
+	tbl, err := e.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map the statement's column list (or the full schema) to table ordinals.
+	ords := make([]int, 0, len(tbl.Columns))
+	if len(s.Columns) == 0 {
+		for i := range tbl.Columns {
+			ords = append(ords, i)
+		}
+	} else {
+		for _, cname := range s.Columns {
+			ord := tbl.ColumnIndex(cname)
+			if ord < 0 {
+				return nil, fmt.Errorf("engine: table %q has no column %q", s.Table, cname)
+			}
+			ords = append(ords, ord)
+		}
+	}
+	start := time.Now()
+	before := e.pager.Stats()
+	count := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(ords) {
+			return nil, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(exprRow), len(ords))
+		}
+		row := make([]value.Value, len(tbl.Columns))
+		for i := range row {
+			row[i] = value.Null()
+		}
+		for i, ast := range exprRow {
+			v, err := evalConstExpr(ast)
+			if err != nil {
+				return nil, err
+			}
+			row[ords[i]] = coerceValue(v, tbl.Columns[ords[i]].Kind)
+		}
+		if err := tbl.Insert(row); err != nil {
+			return nil, err
+		}
+		count++
+	}
+	// Keep dependent materialized views fresh (recompute incrementally is the
+	// job of core/matview; the engine only records staleness by design).
+	after := e.pager.Stats()
+	return &Result{Stats: Stats{Wall: time.Since(start), IO: after.Sub(before), RowsReturned: count}}, nil
+}
+
+func (e *Engine) runDropTable(s *sql.DropTableStmt) (*Result, error) {
+	if err := e.cat.DropTable(s.Name); err != nil {
+		return nil, err
+	}
+	delete(e.views, strings.ToLower(s.Name))
+	return &Result{}, nil
+}
+
+// evalConstExpr evaluates an AST expression that must not reference columns.
+func evalConstExpr(e sql.Expr) (value.Value, error) {
+	switch t := e.(type) {
+	case *sql.Literal:
+		return t.Val, nil
+	case *sql.BinExpr:
+		l, err := evalConstExpr(t.L)
+		if err != nil {
+			return value.Null(), err
+		}
+		r, err := evalConstExpr(t.R)
+		if err != nil {
+			return value.Null(), err
+		}
+		switch t.Op {
+		case "+":
+			return value.Add(l, r), nil
+		case "-":
+			return value.Sub(l, r), nil
+		case "*":
+			return value.Mul(l, r), nil
+		case "/":
+			return value.Div(l, r), nil
+		default:
+			return value.Null(), fmt.Errorf("engine: operator %q not allowed in VALUES", t.Op)
+		}
+	default:
+		return value.Null(), fmt.Errorf("engine: VALUES must be constant expressions, got %T", e)
+	}
+}
+
+// coerceValue converts a literal to the column's kind where a lossless,
+// intuitive conversion exists (strings to dates, ints to floats, ...).
+func coerceValue(v value.Value, kind value.Kind) value.Value {
+	if v.IsNull() || v.Kind == kind {
+		return v
+	}
+	switch kind {
+	case value.KindDate:
+		if v.Kind == value.KindString {
+			if d, err := value.ParseDate(v.S); err == nil {
+				return d
+			}
+		}
+		if v.Kind == value.KindInt {
+			return value.NewDate(v.I)
+		}
+	case value.KindFloat:
+		if v.Kind == value.KindInt {
+			return value.NewFloat(float64(v.I))
+		}
+	case value.KindInt:
+		if v.Kind == value.KindFloat {
+			return value.NewInt(int64(v.F))
+		}
+		if v.Kind == value.KindBool {
+			return value.NewInt(v.I)
+		}
+	case value.KindString:
+		return value.NewString(v.String())
+	case value.KindBool:
+		return value.NewBool(v.Bool())
+	}
+	return v
+}
+
+// BulkLoad loads rows programmatically into a table, coercing each value to
+// the column kind. It is the fast path used by the TPC-H loader.
+func (e *Engine) BulkLoad(table string, rows [][]value.Value) error {
+	tbl, err := e.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	coerced := make([][]value.Value, len(rows))
+	for i, row := range rows {
+		if len(row) != len(tbl.Columns) {
+			return fmt.Errorf("engine: bulk load row %d has %d values, expected %d", i, len(row), len(tbl.Columns))
+		}
+		out := make([]value.Value, len(row))
+		for j, v := range row {
+			out[j] = coerceValue(v, tbl.Columns[j].Kind)
+		}
+		coerced[i] = out
+	}
+	return tbl.BulkLoad(coerced)
+}
+
+// TotalDataPages reports the number of allocated pages in the instance,
+// a rough proxy for database size on disk.
+func (e *Engine) TotalDataPages() int { return e.pager.NumPages() }

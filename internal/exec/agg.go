@@ -1,0 +1,363 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"oldelephant/internal/expr"
+	"oldelephant/internal/value"
+)
+
+// AggKind enumerates the supported aggregate functions.
+type AggKind int
+
+// Aggregate functions.
+const (
+	AggCountStar AggKind = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the SQL name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCountStar, AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// AggSpec is one aggregate in the output of a grouping operator.
+type AggSpec struct {
+	Kind AggKind
+	Arg  expr.Expr // nil for COUNT(*)
+	Name string    // output column label
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count   int64
+	sum     float64
+	sumInt  int64
+	intOnly bool
+	min     value.Value
+	max     value.Value
+	seen    bool
+}
+
+func newAggState() *aggState {
+	return &aggState{intOnly: true, min: value.Null(), max: value.Null()}
+}
+
+func (s *aggState) add(v value.Value, kind AggKind) {
+	if kind == AggCountStar {
+		s.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	s.count++
+	s.seen = true
+	switch kind {
+	case AggSum, AggAvg:
+		if v.Kind == value.KindFloat {
+			s.intOnly = false
+		}
+		s.sum += v.Float()
+		s.sumInt += v.Int()
+	case AggMin:
+		if s.min.IsNull() || value.Compare(v, s.min) < 0 {
+			s.min = v
+		}
+	case AggMax:
+		if s.max.IsNull() || value.Compare(v, s.max) > 0 {
+			s.max = v
+		}
+	}
+}
+
+func (s *aggState) result(kind AggKind) value.Value {
+	switch kind {
+	case AggCountStar, AggCount:
+		return value.NewInt(s.count)
+	case AggSum:
+		if !s.seen {
+			return value.Null()
+		}
+		if s.intOnly {
+			return value.NewInt(s.sumInt)
+		}
+		return value.NewFloat(s.sum)
+	case AggAvg:
+		if s.count == 0 {
+			return value.Null()
+		}
+		return value.NewFloat(s.sum / float64(s.count))
+	case AggMin:
+		return s.min
+	case AggMax:
+		return s.max
+	default:
+		return value.Null()
+	}
+}
+
+// aggSchema builds the output schema of a grouping operator: the group-by
+// columns (in order) followed by one column per aggregate.
+func aggSchema(input Operator, groupBy []int, aggs []AggSpec) []ColumnInfo {
+	in := input.Schema()
+	out := make([]ColumnInfo, 0, len(groupBy)+len(aggs))
+	for _, g := range groupBy {
+		out = append(out, in[g])
+	}
+	for _, a := range aggs {
+		name := a.Name
+		if name == "" {
+			name = a.Kind.String()
+		}
+		kind := value.KindInt
+		switch a.Kind {
+		case AggAvg:
+			kind = value.KindFloat
+		case AggSum, AggMin, AggMax:
+			if col, ok := a.Arg.(*expr.Column); ok && col.Index < len(in) {
+				kind = in[col.Index].Kind
+			} else {
+				kind = value.KindFloat
+			}
+		}
+		out = append(out, ColumnInfo{Name: name, Kind: kind})
+	}
+	return out
+}
+
+// HashAggregate groups its input with a hash table; input order is
+// irrelevant and output order is the group-key order (sorted for
+// determinism).
+type HashAggregate struct {
+	Input   Operator
+	GroupBy []int
+	Aggs    []AggSpec
+
+	schema  []ColumnInfo
+	results []Row
+	pos     int
+}
+
+// NewHashAggregate builds a hash-based grouping operator.
+func NewHashAggregate(input Operator, groupBy []int, aggs []AggSpec) *HashAggregate {
+	return &HashAggregate{Input: input, GroupBy: groupBy, Aggs: aggs, schema: aggSchema(input, groupBy, aggs)}
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() []ColumnInfo { return h.schema }
+
+// Open implements Operator.
+func (h *HashAggregate) Open() error {
+	if err := h.Input.Open(); err != nil {
+		return err
+	}
+	type group struct {
+		keys   Row
+		states []*aggState
+	}
+	groups := make(map[string]*group)
+	for {
+		row, ok, err := h.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		keyVals := make(Row, len(h.GroupBy))
+		for i, g := range h.GroupBy {
+			keyVals[i] = row[g]
+		}
+		key := string(value.EncodeKey(nil, keyVals))
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{keys: keyVals, states: make([]*aggState, len(h.Aggs))}
+			for i := range grp.states {
+				grp.states[i] = newAggState()
+			}
+			groups[key] = grp
+		}
+		if err := accumulate(grp.states, h.Aggs, row); err != nil {
+			return err
+		}
+	}
+	// Aggregation without GROUP BY always produces one row, even on empty input.
+	if len(h.GroupBy) == 0 && len(groups) == 0 {
+		grp := &group{states: make([]*aggState, len(h.Aggs))}
+		for i := range grp.states {
+			grp.states[i] = newAggState()
+		}
+		groups[""] = grp
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h.results = make([]Row, 0, len(keys))
+	for _, k := range keys {
+		grp := groups[k]
+		h.results = append(h.results, finishGroup(grp.keys, grp.states, h.Aggs))
+	}
+	h.pos = 0
+	return nil
+}
+
+func accumulate(states []*aggState, aggs []AggSpec, row Row) error {
+	for i, a := range aggs {
+		var v value.Value
+		if a.Kind != AggCountStar {
+			var err error
+			v, err = a.Arg.Eval(row)
+			if err != nil {
+				return err
+			}
+		}
+		states[i].add(v, a.Kind)
+	}
+	return nil
+}
+
+func finishGroup(keys Row, states []*aggState, aggs []AggSpec) Row {
+	out := make(Row, 0, len(keys)+len(aggs))
+	out = append(out, keys...)
+	for i, a := range aggs {
+		out = append(out, states[i].result(a.Kind))
+	}
+	return out
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (Row, bool, error) {
+	if h.pos >= len(h.results) {
+		return nil, false, nil
+	}
+	row := h.results[h.pos]
+	h.pos++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.results = nil
+	return h.Input.Close()
+}
+
+// StreamAggregate groups an input that is already ordered (clustered) on the
+// group-by columns, emitting each group as soon as it ends. It never
+// materializes more than one group, which is how the paper's "stream-based
+// operator" after an intermediate sort behaves.
+type StreamAggregate struct {
+	Input   Operator
+	GroupBy []int
+	Aggs    []AggSpec
+
+	schema  []ColumnInfo
+	curKeys Row
+	states  []*aggState
+	started bool
+	done    bool
+	pending Row
+}
+
+// NewStreamAggregate builds a streaming grouping operator. The caller must
+// guarantee the input is grouped on the group-by columns (equal keys adjacent).
+func NewStreamAggregate(input Operator, groupBy []int, aggs []AggSpec) *StreamAggregate {
+	return &StreamAggregate{Input: input, GroupBy: groupBy, Aggs: aggs, schema: aggSchema(input, groupBy, aggs)}
+}
+
+// Schema implements Operator.
+func (s *StreamAggregate) Schema() []ColumnInfo { return s.schema }
+
+// Open implements Operator.
+func (s *StreamAggregate) Open() error {
+	s.curKeys, s.states, s.pending = nil, nil, nil
+	s.started, s.done = false, false
+	return s.Input.Open()
+}
+
+func (s *StreamAggregate) newStates() []*aggState {
+	states := make([]*aggState, len(s.Aggs))
+	for i := range states {
+		states[i] = newAggState()
+	}
+	return states
+}
+
+// Next implements Operator.
+func (s *StreamAggregate) Next() (Row, bool, error) {
+	if s.done {
+		return nil, false, nil
+	}
+	for {
+		row, ok, err := s.Input.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			s.done = true
+			if !s.started {
+				if len(s.GroupBy) == 0 {
+					// Global aggregate over empty input yields one row.
+					return finishGroup(nil, s.newStates(), s.Aggs), true, nil
+				}
+				return nil, false, nil
+			}
+			return finishGroup(s.curKeys, s.states, s.Aggs), true, nil
+		}
+		keyVals := make(Row, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			keyVals[i] = row[g]
+		}
+		if !s.started {
+			s.started = true
+			s.curKeys = keyVals
+			s.states = s.newStates()
+		} else if !rowsEqual(keyVals, s.curKeys) {
+			result := finishGroup(s.curKeys, s.states, s.Aggs)
+			s.curKeys = keyVals
+			s.states = s.newStates()
+			if err := accumulate(s.states, s.Aggs, row); err != nil {
+				return nil, false, err
+			}
+			return result, true, nil
+		}
+		if err := accumulate(s.states, s.Aggs, row); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+func rowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if value.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Close implements Operator.
+func (s *StreamAggregate) Close() error { return s.Input.Close() }

@@ -1,0 +1,223 @@
+package exec
+
+import (
+	"sort"
+
+	"oldelephant/internal/expr"
+	"oldelephant/internal/value"
+)
+
+// Filter passes through rows for which the predicate evaluates to true.
+type Filter struct {
+	Input Operator
+	Pred  expr.Expr
+}
+
+// NewFilter wraps an operator with a predicate.
+func NewFilter(input Operator, pred expr.Expr) *Filter {
+	return &Filter{Input: input, Pred: pred}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() []ColumnInfo { return f.Input.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.Input.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (Row, bool, error) {
+	for {
+		row, ok, err := f.Input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := expr.EvalBool(f.Pred, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// Project computes a list of expressions over each input row.
+type Project struct {
+	Input Operator
+	Exprs []expr.Expr
+	Names []string
+
+	schema []ColumnInfo
+}
+
+// NewProject builds a projection; names label the output columns.
+func NewProject(input Operator, exprs []expr.Expr, names []string) *Project {
+	schema := make([]ColumnInfo, len(exprs))
+	inSchema := input.Schema()
+	for i, e := range exprs {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		kind := value.KindNull
+		if col, ok := e.(*expr.Column); ok && col.Index < len(inSchema) {
+			kind = inSchema[col.Index].Kind
+			if name == "" {
+				name = inSchema[col.Index].Name
+			}
+		}
+		schema[i] = ColumnInfo{Name: name, Kind: kind}
+	}
+	return &Project{Input: input, Exprs: exprs, Names: names, schema: schema}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() []ColumnInfo { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.Input.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (Row, bool, error) {
+	row, ok, err := p.Input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Input.Close() }
+
+// Limit stops after emitting N rows (and skips Offset rows first).
+type Limit struct {
+	Input  Operator
+	N      int64
+	Offset int64
+
+	emitted int64
+	skipped int64
+}
+
+// NewLimit wraps an operator with LIMIT/OFFSET semantics. n < 0 means no limit.
+func NewLimit(input Operator, n, offset int64) *Limit {
+	return &Limit{Input: input, N: n, Offset: offset}
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() []ColumnInfo { return l.Input.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error {
+	l.emitted, l.skipped = 0, 0
+	return l.Input.Open()
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (Row, bool, error) {
+	for {
+		if l.N >= 0 && l.emitted >= l.N {
+			return nil, false, nil
+		}
+		row, ok, err := l.Input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if l.skipped < l.Offset {
+			l.skipped++
+			continue
+		}
+		l.emitted++
+		return row, true, nil
+	}
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Input.Close() }
+
+// SortKey describes one ORDER BY term over the input schema.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort materializes its input and emits it ordered by the sort keys.
+type Sort struct {
+	Input Operator
+	Keys  []SortKey
+
+	rows []Row
+	pos  int
+}
+
+// NewSort builds an in-memory sort.
+func NewSort(input Operator, keys []SortKey) *Sort {
+	return &Sort{Input: input, Keys: keys}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() []ColumnInfo { return s.Input.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	s.rows = nil
+	s.pos = 0
+	for {
+		row, ok, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		return compareRows(s.rows[i], s.rows[j], s.Keys) < 0
+	})
+	return nil
+}
+
+func compareRows(a, b Row, keys []SortKey) int {
+	for _, k := range keys {
+		cmp := value.Compare(a[k.Col], b[k.Col])
+		if cmp == 0 {
+			continue
+		}
+		if k.Desc {
+			return -cmp
+		}
+		return cmp
+	}
+	return 0
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return s.Input.Close()
+}

@@ -1,0 +1,465 @@
+package exec
+
+import (
+	"fmt"
+
+	"oldelephant/internal/catalog"
+	"oldelephant/internal/expr"
+	"oldelephant/internal/value"
+)
+
+// NestedLoopJoin joins two inputs by materializing the right side and, for
+// every left row, scanning the materialized rows and applying the join
+// predicate (which sees the concatenated left++right row).
+type NestedLoopJoin struct {
+	Left, Right Operator
+	Pred        expr.Expr
+
+	rightRows []Row
+	leftRow   Row
+	leftOK    bool
+	rightPos  int
+	schema    []ColumnInfo
+}
+
+// NewNestedLoopJoin builds a nested-loop join.
+func NewNestedLoopJoin(left, right Operator, pred expr.Expr) *NestedLoopJoin {
+	return &NestedLoopJoin{Left: left, Right: right, Pred: pred,
+		schema: concatSchemas(left.Schema(), right.Schema())}
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() []ColumnInfo { return j.schema }
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	rows, err := Drain(j.Right)
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.leftOK = false
+	j.rightPos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() (Row, bool, error) {
+	for {
+		if !j.leftOK {
+			row, ok, err := j.Left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.leftRow = row
+			j.leftOK = true
+			j.rightPos = 0
+		}
+		for j.rightPos < len(j.rightRows) {
+			right := j.rightRows[j.rightPos]
+			j.rightPos++
+			out := concatRows(j.leftRow, right)
+			pass, err := expr.EvalBool(j.Pred, out)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				return out, true, nil
+			}
+		}
+		j.leftOK = false
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	j.rightRows = nil
+	return j.Left.Close()
+}
+
+// HashJoin performs an equi-join: the right (build) side is hashed on its key
+// columns, then the left (probe) side streams through. An optional residual
+// predicate is applied to the concatenated row.
+type HashJoin struct {
+	Left, Right Operator
+	LeftKeys    []int
+	RightKeys   []int
+	Residual    expr.Expr
+
+	table    map[string][]Row
+	leftRow  Row
+	matches  []Row
+	matchPos int
+	schema   []ColumnInfo
+}
+
+// NewHashJoin builds a hash join on the given key ordinals.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []int, residual expr.Expr) (*HashJoin, error) {
+	if len(leftKeys) == 0 || len(leftKeys) != len(rightKeys) {
+		return nil, fmt.Errorf("exec: hash join requires matching, non-empty key lists")
+	}
+	return &HashJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys,
+		Residual: residual, schema: concatSchemas(left.Schema(), right.Schema())}, nil
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() []ColumnInfo { return j.schema }
+
+func hashKey(row Row, keys []int) string {
+	vals := make(Row, len(keys))
+	for i, k := range keys {
+		vals[i] = row[k]
+	}
+	return string(value.EncodeKey(nil, vals))
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	rows, err := Drain(j.Right)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[string][]Row)
+	for _, r := range rows {
+		k := hashKey(r, j.RightKeys)
+		j.table[k] = append(j.table[k], r)
+	}
+	j.matches = nil
+	j.matchPos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (Row, bool, error) {
+	for {
+		for j.matchPos < len(j.matches) {
+			right := j.matches[j.matchPos]
+			j.matchPos++
+			out := concatRows(j.leftRow, right)
+			pass, err := expr.EvalBool(j.Residual, out)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				return out, true, nil
+			}
+		}
+		row, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.leftRow = row
+		j.matches = j.table[hashKey(row, j.LeftKeys)]
+		j.matchPos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Left.Close()
+}
+
+// MergeJoin equi-joins two inputs that are already sorted ascending on their
+// key columns. Right rows with equal keys are buffered as a group so
+// many-to-many matches (and repeated left keys) are produced correctly.
+type MergeJoin struct {
+	Left, Right Operator
+	LeftKeys    []int
+	RightKeys   []int
+	Residual    expr.Expr
+
+	schema   []ColumnInfo
+	leftRow  Row
+	leftOK   bool
+	rightRow Row
+	rightOK  bool
+	group    []Row
+	groupKey Row
+	groupPos int
+}
+
+// NewMergeJoin builds a merge join; both inputs must be sorted ascending on
+// their respective key columns.
+func NewMergeJoin(left, right Operator, leftKeys, rightKeys []int, residual expr.Expr) (*MergeJoin, error) {
+	if len(leftKeys) == 0 || len(leftKeys) != len(rightKeys) {
+		return nil, fmt.Errorf("exec: merge join requires matching, non-empty key lists")
+	}
+	return &MergeJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys,
+		Residual: residual, schema: concatSchemas(left.Schema(), right.Schema())}, nil
+}
+
+// Schema implements Operator.
+func (j *MergeJoin) Schema() []ColumnInfo { return j.schema }
+
+// Open implements Operator.
+func (j *MergeJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.group, j.groupKey = nil, nil
+	j.groupPos = 0
+	var err error
+	j.leftRow, j.leftOK, err = j.Left.Next()
+	if err != nil {
+		return err
+	}
+	j.rightRow, j.rightOK, err = j.Right.Next()
+	return err
+}
+
+func keyOf(row Row, keys []int) Row {
+	out := make(Row, len(keys))
+	for i, k := range keys {
+		out[i] = row[k]
+	}
+	return out
+}
+
+func compareKeys(a, b Row) int {
+	for i := range a {
+		if cmp := value.Compare(a[i], b[i]); cmp != 0 {
+			return cmp
+		}
+	}
+	return 0
+}
+
+func (j *MergeJoin) advanceLeft() error {
+	var err error
+	j.leftRow, j.leftOK, err = j.Left.Next()
+	j.groupPos = 0
+	return err
+}
+
+func (j *MergeJoin) advanceRight() error {
+	var err error
+	j.rightRow, j.rightOK, err = j.Right.Next()
+	return err
+}
+
+// Next implements Operator.
+func (j *MergeJoin) Next() (Row, bool, error) {
+	for {
+		if !j.leftOK {
+			return nil, false, nil
+		}
+		leftKey := keyOf(j.leftRow, j.LeftKeys)
+		// Case 1: the buffered group matches the current left key.
+		if j.groupKey != nil && compareKeys(leftKey, j.groupKey) == 0 {
+			for j.groupPos < len(j.group) {
+				right := j.group[j.groupPos]
+				j.groupPos++
+				out := concatRows(j.leftRow, right)
+				pass, err := expr.EvalBool(j.Residual, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if pass {
+					return out, true, nil
+				}
+			}
+			// Group exhausted for this left row: move to the next left row
+			// (which may share the same key and replay the group).
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		// Case 2: the group is behind the left key (or absent): build the next
+		// group by advancing the right side.
+		for j.rightOK && compareKeys(keyOf(j.rightRow, j.RightKeys), leftKey) < 0 {
+			if err := j.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		}
+		if !j.rightOK {
+			// No further right rows can match this or any later left key.
+			return nil, false, nil
+		}
+		rightKey := keyOf(j.rightRow, j.RightKeys)
+		if compareKeys(rightKey, leftKey) > 0 {
+			// No right rows for this left key; advance left.
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+		// rightKey == leftKey: buffer the whole group of equal right keys.
+		j.group = nil
+		j.groupKey = append(Row(nil), rightKey...)
+		for j.rightOK && compareKeys(keyOf(j.rightRow, j.RightKeys), j.groupKey) == 0 {
+			j.group = append(j.group, j.rightRow)
+			if err := j.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		}
+		j.groupPos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *MergeJoin) Close() error {
+	errL := j.Left.Close()
+	errR := j.Right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// InnerSeekSpec describes the inner side of an index-nested-loop join: which
+// table/index to probe and how to derive the probe range from the outer row.
+// This is the operator behind the paper's band joins over c-tables, where the
+// inner range [T1.f BETWEEN T0.f AND T0.f+T0.c-1] depends on the outer tuple.
+type InnerSeekSpec struct {
+	Table *catalog.Table
+	// Index selects a secondary index to probe; nil probes the clustered index.
+	Index *catalog.Index
+	// LoExprs/HiExprs are evaluated over the OUTER row to produce the prefix
+	// bounds of the probe. nil slices mean an open bound.
+	LoExprs []expr.Expr
+	HiExprs []expr.Expr
+	LoIncl  bool
+	HiIncl  bool
+	// Cols are the base-table column ordinals the join produces for the inner side.
+	Cols []int
+}
+
+// IndexNestedLoopJoin probes an index range for every outer row. The output
+// row is outer ++ inner(Cols); Residual (over the output row) filters matches.
+type IndexNestedLoopJoin struct {
+	Outer    Operator
+	Inner    InnerSeekSpec
+	Residual expr.Expr
+
+	schema    []ColumnInfo
+	outerRow  Row
+	innerOp   Operator
+	innerOpen bool
+}
+
+// NewIndexNestedLoopJoin builds an index-nested-loop (band) join.
+func NewIndexNestedLoopJoin(outer Operator, inner InnerSeekSpec, residual expr.Expr) (*IndexNestedLoopJoin, error) {
+	if inner.Table == nil {
+		return nil, fmt.Errorf("exec: inner seek requires a table")
+	}
+	if inner.Index == nil && !inner.Table.IsClustered() {
+		return nil, fmt.Errorf("exec: inner seek on %q requires a clustered or secondary index", inner.Table.Name)
+	}
+	cols := inner.Cols
+	if cols == nil {
+		cols = allOrdinals(len(inner.Table.Columns))
+		inner.Cols = cols
+	}
+	return &IndexNestedLoopJoin{
+		Outer: outer, Inner: inner, Residual: residual,
+		schema: concatSchemas(outer.Schema(), projectedSchema(inner.Table, cols)),
+	}, nil
+}
+
+// Schema implements Operator.
+func (j *IndexNestedLoopJoin) Schema() []ColumnInfo { return j.schema }
+
+// Open implements Operator.
+func (j *IndexNestedLoopJoin) Open() error {
+	j.outerRow = nil
+	j.innerOp = nil
+	j.innerOpen = false
+	return j.Outer.Open()
+}
+
+// evalBounds computes a bound prefix from expressions over the outer row.
+func evalBounds(exprs []expr.Expr, outer Row) ([]value.Value, error) {
+	if len(exprs) == 0 {
+		return nil, nil
+	}
+	out := make([]value.Value, len(exprs))
+	for i, e := range exprs {
+		v, err := e.Eval(outer)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (j *IndexNestedLoopJoin) openInner(outer Row) error {
+	lo, err := evalBounds(j.Inner.LoExprs, outer)
+	if err != nil {
+		return err
+	}
+	hi, err := evalBounds(j.Inner.HiExprs, outer)
+	if err != nil {
+		return err
+	}
+	var op Operator
+	if j.Inner.Index != nil {
+		op, err = NewIndexSeek(j.Inner.Index, lo, hi, j.Inner.LoIncl, j.Inner.HiIncl, j.Inner.Cols)
+	} else {
+		op, err = NewClusteredSeek(j.Inner.Table, lo, hi, j.Inner.LoIncl, j.Inner.HiIncl, j.Inner.Cols)
+	}
+	if err != nil {
+		return err
+	}
+	if err := op.Open(); err != nil {
+		return err
+	}
+	j.innerOp = op
+	j.innerOpen = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *IndexNestedLoopJoin) Next() (Row, bool, error) {
+	for {
+		if !j.innerOpen {
+			row, ok, err := j.Outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.outerRow = row
+			if err := j.openInner(row); err != nil {
+				return nil, false, err
+			}
+		}
+		for {
+			inner, ok, err := j.innerOp.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.innerOp.Close()
+				j.innerOpen = false
+				break
+			}
+			out := concatRows(j.outerRow, inner)
+			pass, err := expr.EvalBool(j.Residual, out)
+			if err != nil {
+				return nil, false, err
+			}
+			if pass {
+				return out, true, nil
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *IndexNestedLoopJoin) Close() error {
+	if j.innerOpen {
+		j.innerOp.Close()
+		j.innerOpen = false
+	}
+	return j.Outer.Close()
+}

@@ -1,0 +1,263 @@
+package exec
+
+import (
+	"fmt"
+
+	"oldelephant/internal/catalog"
+	"oldelephant/internal/value"
+)
+
+// projectedSchema builds the output schema for a table access that returns
+// the given base-table column ordinals.
+func projectedSchema(t *catalog.Table, cols []int) []ColumnInfo {
+	out := make([]ColumnInfo, len(cols))
+	for i, ord := range cols {
+		out[i] = ColumnInfo{Name: t.Columns[ord].Name, Kind: t.Columns[ord].Kind}
+	}
+	return out
+}
+
+// projectRow picks the given base-table ordinals out of a full row.
+func projectRow(row Row, cols []int) Row {
+	out := make(Row, len(cols))
+	for i, ord := range cols {
+		out[i] = row[ord]
+	}
+	return out
+}
+
+// allOrdinals returns 0..n-1.
+func allOrdinals(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// SeqScan reads every row of a table (clustered-key order for clustered
+// tables, insertion order for heaps) and projects the requested columns.
+type SeqScan struct {
+	Table *catalog.Table
+	Cols  []int // base-table ordinals to produce; nil means all
+
+	it     *catalog.RowIterator
+	schema []ColumnInfo
+}
+
+// NewSeqScan builds a sequential scan over the table producing cols (nil = all).
+func NewSeqScan(t *catalog.Table, cols []int) *SeqScan {
+	if cols == nil {
+		cols = allOrdinals(len(t.Columns))
+	}
+	return &SeqScan{Table: t, Cols: cols, schema: projectedSchema(t, cols)}
+}
+
+// Schema implements Operator.
+func (s *SeqScan) Schema() []ColumnInfo { return s.schema }
+
+// Open implements Operator.
+func (s *SeqScan) Open() error {
+	s.it = s.Table.Scan()
+	return nil
+}
+
+// Next implements Operator.
+func (s *SeqScan) Next() (Row, bool, error) {
+	if s.it == nil {
+		return nil, false, errNotOpen("SeqScan")
+	}
+	row, ok, err := s.it.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return projectRow(row, s.Cols), true, nil
+}
+
+// Close implements Operator.
+func (s *SeqScan) Close() error {
+	s.it = nil
+	return nil
+}
+
+// ClusteredSeek scans the rows whose clustered-key prefix lies in a constant
+// range. It is the access path for sargable predicates on the clustered key.
+type ClusteredSeek struct {
+	Table  *catalog.Table
+	Lo, Hi []value.Value // prefix bounds; nil = open
+	LoIncl bool
+	HiIncl bool
+	Cols   []int
+
+	it     *catalog.RowIterator
+	schema []ColumnInfo
+}
+
+// NewClusteredSeek builds a clustered-index range scan.
+func NewClusteredSeek(t *catalog.Table, lo, hi []value.Value, loIncl, hiIncl bool, cols []int) (*ClusteredSeek, error) {
+	if !t.IsClustered() {
+		return nil, fmt.Errorf("exec: table %q has no clustered index", t.Name)
+	}
+	if cols == nil {
+		cols = allOrdinals(len(t.Columns))
+	}
+	return &ClusteredSeek{
+		Table: t, Lo: lo, Hi: hi, LoIncl: loIncl, HiIncl: hiIncl,
+		Cols: cols, schema: projectedSchema(t, cols),
+	}, nil
+}
+
+// Schema implements Operator.
+func (s *ClusteredSeek) Schema() []ColumnInfo { return s.schema }
+
+// Open implements Operator.
+func (s *ClusteredSeek) Open() error {
+	it, err := s.Table.SeekClustered(s.Lo, s.Hi, s.LoIncl, s.HiIncl)
+	if err != nil {
+		return err
+	}
+	s.it = it
+	return nil
+}
+
+// Next implements Operator.
+func (s *ClusteredSeek) Next() (Row, bool, error) {
+	if s.it == nil {
+		return nil, false, errNotOpen("ClusteredSeek")
+	}
+	row, ok, err := s.it.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return projectRow(row, s.Cols), true, nil
+}
+
+// Close implements Operator.
+func (s *ClusteredSeek) Close() error {
+	s.it = nil
+	return nil
+}
+
+// IndexSeek scans a secondary index for entries whose key prefix lies in a
+// constant range. When the index covers the requested columns the base table
+// is never touched; otherwise each entry is resolved to its base row through
+// the clustered key (or RID for heaps), which costs one extra lookup per row.
+type IndexSeek struct {
+	Index  *catalog.Index
+	Lo, Hi []value.Value
+	LoIncl bool
+	HiIncl bool
+	Cols   []int
+
+	it      *catalog.IndexIterator
+	schema  []ColumnInfo
+	covered bool
+	// entryPos maps requested column ordinal -> position in the index entry.
+	entryPos map[int]int
+}
+
+// NewIndexSeek builds a secondary-index range scan producing the given base
+// table columns.
+func NewIndexSeek(ix *catalog.Index, lo, hi []value.Value, loIncl, hiIncl bool, cols []int) (*IndexSeek, error) {
+	t := ix.Table
+	if cols == nil {
+		cols = allOrdinals(len(t.Columns))
+	}
+	s := &IndexSeek{
+		Index: ix, Lo: lo, Hi: hi, LoIncl: loIncl, HiIncl: hiIncl, Cols: cols,
+		schema: projectedSchema(t, cols),
+	}
+	s.covered = ix.Covers(cols)
+	s.entryPos = make(map[int]int)
+	for pos, ord := range ix.EntryColumnOrdinals() {
+		s.entryPos[ord] = pos
+	}
+	return s, nil
+}
+
+// Covered reports whether the seek is answered from the index alone.
+func (s *IndexSeek) Covered() bool { return s.covered }
+
+// Schema implements Operator.
+func (s *IndexSeek) Schema() []ColumnInfo { return s.schema }
+
+// Open implements Operator.
+func (s *IndexSeek) Open() error {
+	s.it = s.Index.Seek(s.Lo, s.Hi, s.LoIncl, s.HiIncl)
+	return nil
+}
+
+// Next implements Operator.
+func (s *IndexSeek) Next() (Row, bool, error) {
+	if s.it == nil {
+		return nil, false, errNotOpen("IndexSeek")
+	}
+	entry, ok, err := s.it.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if s.covered {
+		out := make(Row, len(s.Cols))
+		for i, ord := range s.Cols {
+			out[i] = entry.Values[s.entryPos[ord]]
+		}
+		return out, true, nil
+	}
+	base, err := lookupBaseRow(s.Index, entry)
+	if err != nil {
+		return nil, false, err
+	}
+	return projectRow(base, s.Cols), true, nil
+}
+
+// Close implements Operator.
+func (s *IndexSeek) Close() error {
+	s.it = nil
+	return nil
+}
+
+// lookupBaseRow resolves a secondary-index entry to its base-table row.
+func lookupBaseRow(ix *catalog.Index, entry catalog.IndexEntry) (Row, error) {
+	t := ix.Table
+	if !t.IsClustered() {
+		return t.LookupRID(entry.RID)
+	}
+	// Locate through the clustered key carried in the entry.
+	pos := make(map[int]int)
+	for p, ord := range ix.EntryColumnOrdinals() {
+		pos[ord] = p
+	}
+	key := make([]value.Value, len(t.Clustered.KeyColumns))
+	for i, ord := range t.Clustered.KeyColumns {
+		p, ok := pos[ord]
+		if !ok {
+			return nil, fmt.Errorf("exec: index %q entry is missing clustered key column", ix.Name)
+		}
+		key[i] = entry.Values[p]
+	}
+	it, err := t.SeekClustered(key, key, true, true)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("exec: base row for index %q entry not found", ix.Name)
+		}
+		// With duplicate clustered keys several rows share the key; match the
+		// index key columns too so we return a row consistent with the entry.
+		match := true
+		for i, ord := range ix.KeyColumns {
+			if value.Compare(row[ord], entry.Values[i]) != 0 {
+				match = false
+				break
+			}
+		}
+		if match {
+			return row, nil
+		}
+	}
+}

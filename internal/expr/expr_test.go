@@ -1,0 +1,223 @@
+package expr
+
+import (
+	"testing"
+
+	"oldelephant/internal/value"
+)
+
+func row(vals ...value.Value) []value.Value { return vals }
+
+func TestColumnAndConst(t *testing.T) {
+	r := row(value.NewInt(10), value.NewString("x"))
+	c := NewColumn(1, "name")
+	v, err := c.Eval(r)
+	if err != nil || v.S != "x" {
+		t.Fatalf("column eval = %v, %v", v, err)
+	}
+	if c.String() != "name" {
+		t.Errorf("String = %q", c.String())
+	}
+	if (&Column{Index: 3}).String() != "#3" {
+		t.Errorf("anonymous column String wrong")
+	}
+	if _, err := NewColumn(5, "oops").Eval(r); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	k := NewConst(value.NewInt(7))
+	v, _ = k.Eval(nil)
+	if v.Int() != 7 {
+		t.Errorf("const eval = %v", v)
+	}
+	if NewConst(value.NewString("s")).String() != "'s'" {
+		t.Error("string const should be quoted")
+	}
+	if NewConst(value.NewInt(3)).String() != "3" {
+		t.Error("int const should be bare")
+	}
+}
+
+func TestArithmeticAndComparisons(t *testing.T) {
+	r := row(value.NewInt(4), value.NewInt(10))
+	a, b := NewColumn(0, "a"), NewColumn(1, "b")
+	cases := []struct {
+		e    Expr
+		want value.Value
+	}{
+		{NewBinary(OpAdd, a, b), value.NewInt(14)},
+		{NewBinary(OpSub, b, a), value.NewInt(6)},
+		{NewBinary(OpMul, a, NewConst(value.NewInt(3))), value.NewInt(12)},
+		{NewBinary(OpDiv, b, a), value.NewFloat(2.5)},
+		{NewBinary(OpEq, a, NewConst(value.NewInt(4))), value.NewBool(true)},
+		{NewBinary(OpNe, a, b), value.NewBool(true)},
+		{NewBinary(OpLt, a, b), value.NewBool(true)},
+		{NewBinary(OpLe, a, NewConst(value.NewInt(4))), value.NewBool(true)},
+		{NewBinary(OpGt, a, b), value.NewBool(false)},
+		{NewBinary(OpGe, b, a), value.NewBool(true)},
+	}
+	for _, c := range cases {
+		got, err := c.e.Eval(r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.e, err)
+		}
+		if value.Compare(got, c.want) != 0 {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestLogicalOperatorsAndNullSemantics(t *testing.T) {
+	tr := NewConst(value.NewBool(true))
+	fa := NewConst(value.NewBool(false))
+	nu := NewConst(value.Null())
+	if v, _ := NewBinary(OpAnd, tr, fa).Eval(nil); v.Bool() {
+		t.Error("true AND false should be false")
+	}
+	if v, _ := NewBinary(OpOr, fa, tr).Eval(nil); !v.Bool() {
+		t.Error("false OR true should be true")
+	}
+	// Short circuits.
+	if v, _ := NewBinary(OpAnd, fa, nu).Eval(nil); v.IsNull() || v.Bool() {
+		t.Error("false AND NULL should be false (short circuit)")
+	}
+	if v, _ := NewBinary(OpOr, tr, nu).Eval(nil); !v.Bool() {
+		t.Error("true OR NULL should be true (short circuit)")
+	}
+	if v, _ := NewBinary(OpAnd, tr, nu).Eval(nil); !v.IsNull() {
+		t.Error("true AND NULL should be NULL")
+	}
+	if v, _ := NewBinary(OpEq, nu, tr).Eval(nil); !v.IsNull() {
+		t.Error("NULL = x should be NULL")
+	}
+	if v, _ := (&Not{E: nu}).Eval(nil); !v.IsNull() {
+		t.Error("NOT NULL should be NULL")
+	}
+	if v, _ := (&Not{E: fa}).Eval(nil); !v.Bool() {
+		t.Error("NOT false should be true")
+	}
+	ok, err := EvalBool(NewBinary(OpEq, nu, nu), nil)
+	if err != nil || ok {
+		t.Error("EvalBool on NULL predicate should be false")
+	}
+	ok, _ = EvalBool(nil, nil)
+	if !ok {
+		t.Error("EvalBool(nil) should be true")
+	}
+}
+
+func TestBetweenInListIsNull(t *testing.T) {
+	r := row(value.NewInt(15), value.Null())
+	a := NewColumn(0, "a")
+	b := &Between{E: a, Lo: NewConst(value.NewInt(10)), Hi: NewConst(value.NewInt(20))}
+	if v, _ := b.Eval(r); !v.Bool() {
+		t.Error("15 BETWEEN 10 AND 20 should hold")
+	}
+	b2 := &Between{E: a, Lo: NewConst(value.NewInt(16)), Hi: NewConst(value.NewInt(20))}
+	if v, _ := b2.Eval(r); v.Bool() {
+		t.Error("15 BETWEEN 16 AND 20 should not hold")
+	}
+	nullB := &Between{E: NewColumn(1, "n"), Lo: NewConst(value.NewInt(1)), Hi: NewConst(value.NewInt(2))}
+	if v, _ := nullB.Eval(r); !v.IsNull() {
+		t.Error("NULL BETWEEN should be NULL")
+	}
+	in := &InList{E: a, List: []Expr{NewConst(value.NewInt(1)), NewConst(value.NewInt(15))}}
+	if v, _ := in.Eval(r); !v.Bool() {
+		t.Error("15 IN (1,15) should hold")
+	}
+	in2 := &InList{E: a, List: []Expr{NewConst(value.NewInt(1))}}
+	if v, _ := in2.Eval(r); v.Bool() {
+		t.Error("15 IN (1) should not hold")
+	}
+	isn := &IsNull{E: NewColumn(1, "n")}
+	if v, _ := isn.Eval(r); !v.Bool() {
+		t.Error("NULL IS NULL should hold")
+	}
+	isnn := &IsNull{E: a, Negate: true}
+	if v, _ := isnn.Eval(r); !v.Bool() {
+		t.Error("15 IS NOT NULL should hold")
+	}
+}
+
+func TestSplitConjunctsAndColumnsUsed(t *testing.T) {
+	a, b, c := NewColumn(0, "a"), NewColumn(1, "b"), NewColumn(2, "c")
+	pred := And(
+		Eq(a, NewConst(value.NewInt(1))),
+		NewBinary(OpGt, b, NewConst(value.NewInt(2))),
+		&Between{E: c, Lo: NewConst(value.NewInt(0)), Hi: b},
+	)
+	conj := SplitConjuncts(pred)
+	if len(conj) != 3 {
+		t.Fatalf("SplitConjuncts returned %d items", len(conj))
+	}
+	used := ColumnsUsed(pred)
+	for i := 0; i < 3; i++ {
+		if !used[i] {
+			t.Errorf("column %d should be used", i)
+		}
+	}
+	if len(SplitConjuncts(nil)) != 0 {
+		t.Error("SplitConjuncts(nil) should be empty")
+	}
+	if And() != nil {
+		t.Error("And() of nothing should be nil")
+	}
+	single := And(nil, a, nil)
+	if single != a {
+		t.Error("And of one predicate should return it unchanged")
+	}
+}
+
+func TestShift(t *testing.T) {
+	pred := And(
+		Eq(NewColumn(0, "a"), NewColumn(2, "c")),
+		&Between{E: NewColumn(1, "b"), Lo: NewConst(value.NewInt(0)), Hi: NewColumn(3, "d")},
+		&InList{E: NewColumn(0, "a"), List: []Expr{NewConst(value.NewInt(5))}},
+		&IsNull{E: NewColumn(4, "e")},
+		&Not{E: NewColumn(5, "f")},
+	)
+	shifted := Shift(pred, 10)
+	used := ColumnsUsed(shifted)
+	for _, want := range []int{10, 11, 12, 13, 14, 15} {
+		if !used[want] {
+			t.Errorf("shifted expression should use column %d; used=%v", want, used)
+		}
+	}
+	if Shift(nil, 1) != nil {
+		t.Error("Shift(nil) should be nil")
+	}
+	// Original is unchanged.
+	if !ColumnsUsed(pred)[0] {
+		t.Error("Shift must not mutate the original expression")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := And(
+		NewBinary(OpGt, NewColumn(0, "l_shipdate"), NewConst(value.MustParseDate("1995-06-01"))),
+		Eq(NewColumn(1, "l_suppkey"), NewConst(value.NewInt(7))),
+	)
+	s := e.String()
+	if s == "" || s[0] != '(' {
+		t.Errorf("unexpected rendering %q", s)
+	}
+	for _, sub := range []string{"l_shipdate", "1995-06-01", "l_suppkey", "AND", ">"} {
+		if !contains(s, sub) {
+			t.Errorf("rendering %q missing %q", s, sub)
+		}
+	}
+	in := &InList{E: NewColumn(0, "x"), List: []Expr{NewConst(value.NewInt(1)), NewConst(value.NewInt(2))}}
+	if !contains(in.String(), "IN (1, 2)") {
+		t.Errorf("InList rendering = %q", in.String())
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}

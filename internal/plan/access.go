@@ -1,0 +1,341 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oldelephant/internal/catalog"
+	"oldelephant/internal/exec"
+	"oldelephant/internal/expr"
+	"oldelephant/internal/sql"
+	"oldelephant/internal/value"
+)
+
+// plannedSource is one FROM entry after access-path selection (or recursive
+// planning, for derived tables). Its scope describes the columns it
+// contributes to the join row, in operator output order.
+type plannedSource struct {
+	name      string // alias, lower case
+	table     *catalog.Table
+	op        exec.Operator
+	sc        *scope
+	tableOrds []int // base-table ordinal of each contributed column (base tables only)
+	ordering  []int // scope ordinals forming the sort-order prefix of the output
+	estRows   float64
+	desc      string
+	// pushed keeps the single-table conjuncts assigned to this source so a
+	// join that bypasses the planned access path (index nested loops) can
+	// re-apply them as a residual predicate.
+	pushed []sql.Expr
+}
+
+// colRange is the sargable constraint collected for one column.
+type colRange struct {
+	lo, hi         value.Value
+	loIncl, hiIncl bool
+	hasLo, hasHi   bool
+	equality       bool
+}
+
+// sargableConstraints extracts per-column constant ranges from conjuncts that
+// were pushed down to a single base table.
+func sargableConstraints(t *catalog.Table, alias string, conjuncts []sql.Expr) map[int]*colRange {
+	out := make(map[int]*colRange)
+	get := func(ord int) *colRange {
+		if r, ok := out[ord]; ok {
+			return r
+		}
+		r := &colRange{}
+		out[ord] = r
+		return r
+	}
+	resolveCol := func(e sql.Expr) (int, bool) {
+		ref, ok := e.(*sql.ColRef)
+		if !ok {
+			return 0, false
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, alias) {
+			return 0, false
+		}
+		ord := t.ColumnIndex(ref.Column)
+		return ord, ord >= 0
+	}
+	literal := func(e sql.Expr, colOrd int) (value.Value, bool) {
+		lit, ok := e.(*sql.Literal)
+		if !ok {
+			return value.Null(), false
+		}
+		v := lit.Val
+		// Strings compared against DATE columns act as dates.
+		if t.Columns[colOrd].Kind == value.KindDate && v.Kind == value.KindString {
+			if d, err := value.ParseDate(v.S); err == nil {
+				v = d
+			}
+		}
+		return v, true
+	}
+	apply := func(ord int, op string, v value.Value) {
+		r := get(ord)
+		switch op {
+		case "=":
+			r.lo, r.hi = v, v
+			r.loIncl, r.hiIncl = true, true
+			r.hasLo, r.hasHi = true, true
+			r.equality = true
+		case ">":
+			r.lo, r.loIncl, r.hasLo = v, false, true
+		case ">=":
+			r.lo, r.loIncl, r.hasLo = v, true, true
+		case "<":
+			r.hi, r.hiIncl, r.hasHi = v, false, true
+		case "<=":
+			r.hi, r.hiIncl, r.hasHi = v, true, true
+		}
+	}
+	for _, c := range conjuncts {
+		switch e := c.(type) {
+		case *sql.BinExpr:
+			if e.Op == "=" || e.Op == "<" || e.Op == "<=" || e.Op == ">" || e.Op == ">=" {
+				if ord, ok := resolveCol(e.L); ok {
+					if v, ok := literal(e.R, ord); ok {
+						apply(ord, e.Op, v)
+						continue
+					}
+				}
+				if ord, ok := resolveCol(e.R); ok {
+					if v, ok := literal(e.L, ord); ok {
+						apply(ord, flipOp(e.Op), v)
+					}
+				}
+			}
+		case *sql.BetweenExpr:
+			if e.Not {
+				continue
+			}
+			if ord, ok := resolveCol(e.E); ok {
+				lo, okLo := literal(e.Lo, ord)
+				hi, okHi := literal(e.Hi, ord)
+				if okLo && okHi {
+					apply(ord, ">=", lo)
+					apply(ord, "<=", hi)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+// rangeSelectivity estimates the fraction of rows selected by a column range.
+func rangeSelectivity(t *catalog.Table, ord int, r *colRange) float64 {
+	if r.equality {
+		return t.Stats.SelectivityEquals(ord)
+	}
+	lo, hi := value.Null(), value.Null()
+	if r.hasLo {
+		lo = r.lo
+	}
+	if r.hasHi {
+		hi = r.hi
+	}
+	return t.Stats.SelectivityRange(ord, lo, hi)
+}
+
+// planBaseTable selects the access path for one base-table FROM entry.
+//
+// The decision follows the textbook cost comparison the paper leans on:
+// scanning costs the table's data pages; a clustered seek costs the selected
+// fraction of those pages; a covering secondary-index seek costs the selected
+// fraction of the (narrower) index pages; a non-covering seek additionally
+// pays one random lookup per qualifying row.
+func (p *Planner) planBaseTable(t *catalog.Table, alias string, needed []int, pushed []sql.Expr) (*plannedSource, error) {
+	if len(needed) == 0 {
+		// A table no column of which is referenced still contributes its
+		// presence (e.g. COUNT(*) over a cross join); produce its first column.
+		needed = []int{0}
+	}
+	sort.Ints(needed)
+	constraints := sargableConstraints(t, alias, pushed)
+	overhead := p.Catalog.TupleOverhead()
+	dataPages := t.Stats.EstimatedDataPages(overhead)
+	rowCount := float64(t.Stats.RowCount)
+
+	selAll := 1.0
+	for ord, r := range constraints {
+		selAll *= rangeSelectivity(t, ord, r)
+	}
+	estRows := rowCount * selAll
+	if estRows < 1 {
+		estRows = 1
+	}
+
+	type candidate struct {
+		op       exec.Operator
+		cost     float64
+		ordering []int // table ordinals of the sort prefix
+		desc     string
+	}
+	var best *candidate
+	consider := func(c candidate) {
+		if best == nil || c.cost < best.cost {
+			cc := c
+			best = &cc
+		}
+	}
+
+	// Candidate 1: full scan.
+	scanOrdering := []int{}
+	if t.IsClustered() {
+		scanOrdering = t.Clustered.KeyColumns
+	}
+	consider(candidate{
+		op:       exec.NewSeqScan(t, needed),
+		cost:     dataPages,
+		ordering: scanOrdering,
+		desc:     fmt.Sprintf("SeqScan(%s)", t.Name),
+	})
+
+	// Candidate 2: clustered seek on the leading clustered-key column.
+	if t.IsClustered() {
+		lead := t.Clustered.KeyColumns[0]
+		if r, ok := constraints[lead]; ok && (r.hasLo || r.hasHi) {
+			sel := rangeSelectivity(t, lead, r)
+			var lo, hi []value.Value
+			if r.hasLo {
+				lo = []value.Value{r.lo}
+			}
+			if r.hasHi {
+				hi = []value.Value{r.hi}
+			}
+			seek, err := exec.NewClusteredSeek(t, lo, hi, r.loIncl, r.hiIncl, needed)
+			if err == nil {
+				consider(candidate{
+					op:       seek,
+					cost:     dataPages*sel + 3, // + root-to-leaf descent
+					ordering: t.Clustered.KeyColumns,
+					desc: fmt.Sprintf("ClusteredSeek(%s on %s)",
+						t.Name, t.Columns[lead].Name),
+				})
+			}
+		}
+	}
+
+	// Candidate 3: secondary index seeks.
+	for _, idx := range t.Secondary {
+		lead := idx.KeyColumns[0]
+		r, ok := constraints[lead]
+		if !ok || (!r.hasLo && !r.hasHi) {
+			continue
+		}
+		sel := rangeSelectivity(t, lead, r)
+		var lo, hi []value.Value
+		if r.hasLo {
+			lo = []value.Value{r.lo}
+		}
+		if r.hasHi {
+			hi = []value.Value{r.hi}
+		}
+		seek, err := exec.NewIndexSeek(idx, lo, hi, r.loIncl, r.hiIncl, needed)
+		if err != nil {
+			continue
+		}
+		idxPages := estimateIndexPages(idx, overhead)
+		var cost float64
+		var desc string
+		if seek.Covered() {
+			cost = idxPages*sel + 3
+			desc = fmt.Sprintf("IndexSeek(%s.%s covering)", t.Name, idx.Name)
+		} else {
+			// Each qualifying row needs a lookup into the base table.
+			cost = idxPages*sel + rowCount*sel*2 + 3
+			desc = fmt.Sprintf("IndexSeek(%s.%s + lookup)", t.Name, idx.Name)
+		}
+		consider(candidate{op: seek, cost: cost, ordering: idx.KeyColumns, desc: desc})
+	}
+
+	src := &plannedSource{
+		name:      strings.ToLower(alias),
+		table:     t,
+		op:        best.op,
+		tableOrds: needed,
+		estRows:   estRows,
+		desc:      best.desc,
+	}
+	src.sc = &scope{}
+	for _, ord := range needed {
+		src.sc.add(alias, t.Columns[ord].Name, t.Columns[ord].Kind)
+	}
+	// Map the ordering (table ordinals) onto positions within the produced columns.
+	for _, keyOrd := range best.ordering {
+		pos := -1
+		for i, ord := range needed {
+			if ord == keyOrd {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			break
+		}
+		src.ordering = append(src.ordering, pos)
+	}
+	// Re-apply the pushed predicates as a residual filter: seeks only consume
+	// the leading-column range, and re-checking a consumed range is harmless.
+	if len(pushed) > 0 {
+		pred, err := bindConjuncts(pushed, src.sc)
+		if err != nil {
+			return nil, err
+		}
+		if pred != nil {
+			src.op = exec.NewFilter(src.op, pred)
+			src.desc = fmt.Sprintf("Filter(%s)", src.desc)
+		}
+	}
+	return src, nil
+}
+
+// estimateIndexPages approximates the number of leaf pages of a secondary
+// index from statistics (share of the base row carried per entry plus
+// per-entry key/locator overhead).
+func estimateIndexPages(idx *catalog.Index, overhead int) float64 {
+	t := idx.Table
+	rowBytes := 1.0
+	if t.Stats.RowCount > 0 {
+		rowBytes = float64(t.Stats.DataBytes) / float64(t.Stats.RowCount)
+	}
+	frac := float64(len(idx.EntryColumnOrdinals())) / float64(len(t.Columns))
+	entryBytes := rowBytes*frac + 12 + float64(overhead)
+	pages := float64(t.Stats.RowCount) * entryBytes / (0.95 * 8192)
+	if pages < 1 {
+		return 1
+	}
+	return pages
+}
+
+// bindConjuncts binds a list of AST conjuncts against a scope and ANDs them.
+func bindConjuncts(conjuncts []sql.Expr, sc *scope) (expr.Expr, error) {
+	var preds []expr.Expr
+	for _, c := range conjuncts {
+		b, err := bindExpr(c, sc)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, b)
+	}
+	return expr.And(preds...), nil
+}

@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"fmt"
+
+	"oldelephant/internal/value"
+)
+
+// HeapFile stores rows in insertion order across a chain of slotted pages.
+// It is the storage structure for tables without a clustered index.
+type HeapFile struct {
+	pager    *Pager
+	pageIDs  []PageID
+	overhead int
+	rowCount int64
+}
+
+// NewHeapFile creates an empty heap file backed by the pager. overhead is the
+// per-tuple byte overhead charged on insertion; pass a negative value to use
+// DefaultTupleOverhead.
+func NewHeapFile(pager *Pager, overhead int) *HeapFile {
+	if overhead < 0 {
+		overhead = DefaultTupleOverhead
+	}
+	return &HeapFile{pager: pager, overhead: overhead}
+}
+
+// Insert appends a row and returns its RID.
+func (h *HeapFile) Insert(row []value.Value) (RID, error) {
+	rec := value.EncodeTuple(nil, row)
+	if len(rec)+h.overhead > PageSize-pageHeaderSize-slotSize {
+		return RID{}, fmt.Errorf("storage: row of %d bytes does not fit in a page", len(rec))
+	}
+	if len(h.pageIDs) > 0 {
+		last := h.pager.Get(h.pageIDs[len(h.pageIDs)-1])
+		if slot, ok := last.InsertRecord(rec, h.overhead); ok {
+			h.pager.MarkDirty(last.ID())
+			h.rowCount++
+			return RID{Page: last.ID(), Slot: uint16(slot)}, nil
+		}
+	}
+	pg := h.pager.Allocate()
+	h.pageIDs = append(h.pageIDs, pg.ID())
+	slot, ok := pg.InsertRecord(rec, h.overhead)
+	if !ok {
+		return RID{}, fmt.Errorf("storage: row of %d bytes does not fit in a fresh page", len(rec))
+	}
+	h.rowCount++
+	return RID{Page: pg.ID(), Slot: uint16(slot)}, nil
+}
+
+// Get fetches the row stored at rid.
+func (h *HeapFile) Get(rid RID) ([]value.Value, error) {
+	pg := h.pager.Get(rid.Page)
+	rec := pg.Record(int(rid.Slot))
+	if rec == nil {
+		return nil, fmt.Errorf("storage: no record at %v", rid)
+	}
+	row, _, err := value.DecodeTuple(rec)
+	return row, err
+}
+
+// Delete removes the row at rid (the slot is tombstoned).
+func (h *HeapFile) Delete(rid RID) error {
+	pg := h.pager.Get(rid.Page)
+	if err := pg.DeleteRecord(int(rid.Slot)); err != nil {
+		return err
+	}
+	h.pager.MarkDirty(rid.Page)
+	h.rowCount--
+	return nil
+}
+
+// RowCount returns the number of live rows.
+func (h *HeapFile) RowCount() int64 { return h.rowCount }
+
+// NumPages returns the number of pages the heap occupies.
+func (h *HeapFile) NumPages() int { return len(h.pageIDs) }
+
+// Scan returns an iterator over all live rows in storage order.
+func (h *HeapFile) Scan() *HeapIterator {
+	return &HeapIterator{heap: h}
+}
+
+// HeapIterator walks a heap file page by page, slot by slot.
+type HeapIterator struct {
+	heap    *HeapFile
+	pageIdx int
+	slot    int
+	page    *Page
+}
+
+// Next returns the next row and its RID. ok is false at end of file.
+func (it *HeapIterator) Next() (row []value.Value, rid RID, ok bool, err error) {
+	for {
+		if it.page == nil {
+			if it.pageIdx >= len(it.heap.pageIDs) {
+				return nil, RID{}, false, nil
+			}
+			it.page = it.heap.pager.Get(it.heap.pageIDs[it.pageIdx])
+			it.slot = 0
+		}
+		for it.slot < it.page.NumSlots() {
+			rec := it.page.Record(it.slot)
+			slot := it.slot
+			it.slot++
+			if rec == nil {
+				continue // deleted
+			}
+			row, _, err := value.DecodeTuple(rec)
+			if err != nil {
+				return nil, RID{}, false, err
+			}
+			return row, RID{Page: it.page.ID(), Slot: uint16(slot)}, true, nil
+		}
+		it.page = nil
+		it.pageIdx++
+	}
+}

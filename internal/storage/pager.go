@@ -1,0 +1,213 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// IOStats accumulates the page-level I/O behaviour of a pager. The benchmark
+// harness converts these counters into a modeled disk time; the paper's
+// headline ratios are driven almost entirely by the number of pages each
+// strategy must read.
+type IOStats struct {
+	// PageReads counts buffer-pool misses, i.e. pages fetched from "disk".
+	PageReads int64
+	// SeqReads is the subset of PageReads whose page id immediately follows
+	// the previously missed page (sequential I/O).
+	SeqReads int64
+	// RandReads is PageReads - SeqReads.
+	RandReads int64
+	// CacheHits counts accesses served by the buffer pool.
+	CacheHits int64
+	// PageWrites counts pages written (allocation and flush).
+	PageWrites int64
+	// PagesAllocated is the total number of pages ever allocated.
+	PagesAllocated int64
+}
+
+// Sub returns the difference s - o, useful for measuring a single query.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{
+		PageReads:      s.PageReads - o.PageReads,
+		SeqReads:       s.SeqReads - o.SeqReads,
+		RandReads:      s.RandReads - o.RandReads,
+		CacheHits:      s.CacheHits - o.CacheHits,
+		PageWrites:     s.PageWrites - o.PageWrites,
+		PagesAllocated: s.PagesAllocated - o.PagesAllocated,
+	}
+}
+
+// Add returns the sum of two stats.
+func (s IOStats) Add(o IOStats) IOStats {
+	return IOStats{
+		PageReads:      s.PageReads + o.PageReads,
+		SeqReads:       s.SeqReads + o.SeqReads,
+		RandReads:      s.RandReads + o.RandReads,
+		CacheHits:      s.CacheHits + o.CacheHits,
+		PageWrites:     s.PageWrites + o.PageWrites,
+		PagesAllocated: s.PagesAllocated + o.PagesAllocated,
+	}
+}
+
+// Pager owns all pages of a database instance. It simulates a disk (the full
+// set of pages) fronted by a buffer pool of bounded size; accesses that miss
+// the pool are charged as page reads and classified as sequential or random.
+//
+// Sequentiality is tracked per stream: a read that continues any of the most
+// recently active read positions counts as sequential. This models the
+// behaviour of disk read-ahead when a query interleaves scans of a few
+// objects (e.g. the two sides of an index nested-loop join), which a single
+// "last page" tracker would misclassify as entirely random.
+type Pager struct {
+	mu       sync.Mutex
+	pages    []*Page // index = PageID-1; the simulated disk
+	capacity int     // buffer pool capacity in pages; <=0 means unbounded
+	cache    map[PageID]*list.Element
+	lru      *list.List // front = most recently used; stores PageID
+	streams  []PageID   // recent miss positions, most recent first
+	stats    IOStats
+}
+
+// maxStreams is the number of concurrent sequential read streams the
+// sequentiality classifier tracks (a proxy for the drive's read-ahead slots).
+const maxStreams = 8
+
+// NewPager creates a pager whose buffer pool holds up to capacity pages.
+// capacity <= 0 means the pool is unbounded (every page is read from disk at
+// most once until ResetCache is called).
+func NewPager(capacity int) *Pager {
+	return &Pager{
+		capacity: capacity,
+		cache:    make(map[PageID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Allocate creates a new zeroed page and returns it. The page is immediately
+// resident in the buffer pool.
+func (p *Pager) Allocate() *Page {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := PageID(len(p.pages) + 1)
+	pg := newPage(id)
+	p.pages = append(p.pages, pg)
+	p.stats.PagesAllocated++
+	p.stats.PageWrites++
+	p.admit(id)
+	return pg
+}
+
+// Get returns the page with the given id, charging a read if it is not in
+// the buffer pool. It panics on an invalid id: page ids only come from the
+// pager itself, so an unknown id is a programming error, not a runtime
+// condition a caller could handle.
+func (p *Pager) Get(id PageID) *Page {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id == InvalidPageID || int(id) > len(p.pages) {
+		panic(fmt.Sprintf("storage: Get of unknown page %d", id))
+	}
+	if el, ok := p.cache[id]; ok {
+		p.lru.MoveToFront(el)
+		p.stats.CacheHits++
+		return p.pages[id-1]
+	}
+	p.stats.PageReads++
+	if p.extendsStream(id) {
+		p.stats.SeqReads++
+	} else {
+		p.stats.RandReads++
+	}
+	p.admit(id)
+	return p.pages[id-1]
+}
+
+// extendsStream reports whether the missed page continues one of the tracked
+// read streams, and updates the stream table either way. Caller holds p.mu.
+func (p *Pager) extendsStream(id PageID) bool {
+	for i, head := range p.streams {
+		if id == head+1 {
+			// Continue this stream and mark it most recently used.
+			copy(p.streams[1:i+1], p.streams[:i])
+			p.streams[0] = id
+			return true
+		}
+	}
+	p.streams = append([]PageID{id}, p.streams...)
+	if len(p.streams) > maxStreams {
+		p.streams = p.streams[:maxStreams]
+	}
+	return false
+}
+
+// admit inserts id into the buffer pool, evicting the least recently used
+// page if the pool is full. Caller holds p.mu.
+func (p *Pager) admit(id PageID) {
+	if el, ok := p.cache[id]; ok {
+		p.lru.MoveToFront(el)
+		return
+	}
+	p.cache[id] = p.lru.PushFront(id)
+	if p.capacity > 0 && p.lru.Len() > p.capacity {
+		back := p.lru.Back()
+		evicted := back.Value.(PageID)
+		p.lru.Remove(back)
+		delete(p.cache, evicted)
+	}
+}
+
+// MarkDirty records a write to the page (for statistics only; pages are
+// always durable in this in-memory simulation).
+func (p *Pager) MarkDirty(id PageID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.PageWrites++
+}
+
+// ResetCache empties the buffer pool so that subsequent accesses behave as a
+// cold run, and forgets sequentiality state. Statistics are not reset.
+func (p *Pager) ResetCache() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cache = make(map[PageID]*list.Element)
+	p.lru = list.New()
+	p.streams = nil
+}
+
+// ResetStats zeroes the I/O counters (but keeps the buffer pool contents).
+func (p *Pager) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	alloc := p.stats.PagesAllocated
+	p.stats = IOStats{PagesAllocated: alloc}
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (p *Pager) Stats() IOStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// NumPages returns the number of pages ever allocated.
+func (p *Pager) NumPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pages)
+}
+
+// SetCapacity changes the buffer pool capacity. Shrinking evicts LRU pages.
+func (p *Pager) SetCapacity(capacity int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.capacity = capacity
+	if capacity <= 0 {
+		return
+	}
+	for p.lru.Len() > capacity {
+		back := p.lru.Back()
+		delete(p.cache, back.Value.(PageID))
+		p.lru.Remove(back)
+	}
+}

@@ -1,0 +1,183 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encoding of values and tuples.
+//
+// Two encodings are provided:
+//
+//   - EncodeTuple/DecodeTuple: a compact, self-describing row format used by
+//     heap pages and B+-tree leaf payloads. It is not order-preserving.
+//   - EncodeKey/CompareEncodedKeys: an order-preserving composite-key format
+//     used by B+-tree keys, so that byte-wise comparison of encoded keys
+//     agrees with Compare on the original values column by column.
+
+// EncodeTuple appends the compact encoding of row to dst and returns the
+// extended slice.
+func EncodeTuple(dst []byte, row []Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case KindNull:
+		case KindInt, KindDate, KindBool:
+			dst = binary.AppendVarint(dst, v.I)
+		case KindFloat:
+			dst = binary.AppendUvarint(dst, math.Float64bits(v.F))
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		}
+	}
+	return dst
+}
+
+// DecodeTuple decodes a tuple previously produced by EncodeTuple. It returns
+// the decoded row and the number of bytes consumed.
+func DecodeTuple(src []byte) ([]Value, int, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("value: corrupt tuple header")
+	}
+	off := sz
+	row := make([]Value, n)
+	for i := range row {
+		if off >= len(src) {
+			return nil, 0, fmt.Errorf("value: truncated tuple at field %d", i)
+		}
+		kind := Kind(src[off])
+		off++
+		switch kind {
+		case KindNull:
+			row[i] = Null()
+		case KindInt, KindDate, KindBool:
+			iv, sz := binary.Varint(src[off:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("value: corrupt int field %d", i)
+			}
+			off += sz
+			row[i] = Value{Kind: kind, I: iv}
+		case KindFloat:
+			bits, sz := binary.Uvarint(src[off:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("value: corrupt float field %d", i)
+			}
+			off += sz
+			row[i] = NewFloat(math.Float64frombits(bits))
+		case KindString:
+			length, sz := binary.Uvarint(src[off:])
+			if sz <= 0 {
+				return nil, 0, fmt.Errorf("value: corrupt string field %d", i)
+			}
+			off += sz
+			if off+int(length) > len(src) {
+				return nil, 0, fmt.Errorf("value: truncated string field %d", i)
+			}
+			row[i] = NewString(string(src[off : off+int(length)]))
+			off += int(length)
+		default:
+			return nil, 0, fmt.Errorf("value: unknown kind %d in field %d", kind, i)
+		}
+	}
+	return row, off, nil
+}
+
+// Key-encoding tags; chosen so that byte comparison orders NULL first,
+// numerics next and strings last, mirroring Compare.
+const (
+	keyTagNull   byte = 0x01
+	keyTagNumber byte = 0x02
+	keyTagString byte = 0x03
+)
+
+// EncodeKey appends an order-preserving encoding of the composite key to dst.
+// For any two keys a and b of the same arity,
+// bytes.Compare(EncodeKey(nil,a), EncodeKey(nil,b)) has the same sign as the
+// column-wise Compare of a and b.
+func EncodeKey(dst []byte, key []Value) []byte {
+	for _, v := range key {
+		dst = encodeKeyValue(dst, v)
+	}
+	return dst
+}
+
+func encodeKeyValue(dst []byte, v Value) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(dst, keyTagNull)
+	case KindString:
+		dst = append(dst, keyTagString)
+		// Escape 0x00 as 0x00 0xFF and terminate with 0x00 0x00 so that
+		// prefixes order before longer strings.
+		for i := 0; i < len(v.S); i++ {
+			b := v.S[i]
+			if b == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, b)
+			}
+		}
+		return append(dst, 0x00, 0x00)
+	default:
+		dst = append(dst, keyTagNumber)
+		// Encode the numeric value as a sortable float64: flip the sign bit
+		// for non-negatives and complement for negatives.
+		bits := math.Float64bits(v.Float())
+		if bits>>63 == 0 {
+			bits |= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], bits)
+		return append(dst, buf[:]...)
+	}
+}
+
+// RowSize returns the number of bytes EncodeTuple would use for row, useful
+// for page space accounting without allocating.
+func RowSize(row []Value) int {
+	size := uvarintLen(uint64(len(row)))
+	for _, v := range row {
+		size++ // kind byte
+		switch v.Kind {
+		case KindNull:
+		case KindInt, KindDate, KindBool:
+			size += varintLen(v.I)
+		case KindFloat:
+			size += uvarintLen(math.Float64bits(v.F))
+		case KindString:
+			size += uvarintLen(uint64(len(v.S))) + len(v.S)
+		}
+	}
+	return size
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(x int64) int {
+	ux := uint64(x) << 1
+	if x < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
+}
+
+// CloneRow returns a copy of row; values themselves are immutable so a
+// shallow copy of the slice is sufficient.
+func CloneRow(row []Value) []Value {
+	out := make([]Value, len(row))
+	copy(out, row)
+	return out
+}

@@ -1,0 +1,336 @@
+// Package value implements the typed scalar values that flow through the
+// storage layer, the execution engine and the index key encoder.
+//
+// A Value is a small struct (no interface boxing on the hot path) that can
+// hold a 64-bit integer, a 64-bit float, a string, a date (days since
+// 1970-01-01) or SQL NULL. Values compare with SQL semantics except that
+// NULL orders before every non-NULL value (the usual index ordering), and
+// they encode to an order-preserving binary form used by B+-tree keys.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindDate
+	KindBool
+)
+
+// String returns a readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindDate:
+		return "DATE"
+	case KindBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL scalar. The zero value is SQL NULL.
+type Value struct {
+	Kind Kind
+	I    int64   // KindInt, KindDate (days since epoch), KindBool (0/1)
+	F    float64 // KindFloat
+	S    string  // KindString
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// NewFloat returns a float value.
+func NewFloat(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{Kind: KindString, S: s} }
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value {
+	if b {
+		return Value{Kind: KindBool, I: 1}
+	}
+	return Value{Kind: KindBool, I: 0}
+}
+
+// NewDate returns a date value holding days since the Unix epoch.
+func NewDate(days int64) Value { return Value{Kind: KindDate, I: days} }
+
+// DateFromYMD builds a date value from a calendar date.
+func DateFromYMD(year, month, day int) Value {
+	t := time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC)
+	return NewDate(t.Unix() / 86400)
+}
+
+// ParseDate parses a YYYY-MM-DD string into a date value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null(), fmt.Errorf("value: parse date %q: %w", s, err)
+	}
+	return NewDate(t.Unix() / 86400), nil
+}
+
+// MustParseDate is ParseDate that panics on malformed input; intended for
+// constants in tests and generators.
+func MustParseDate(s string) Value {
+	v, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Bool returns the truth value of a boolean Value; NULL and zero are false.
+func (v Value) Bool() bool {
+	switch v.Kind {
+	case KindBool, KindInt, KindDate:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	default:
+		return false
+	}
+}
+
+// Int returns the value as int64, converting floats by truncation.
+func (v Value) Int() int64 {
+	switch v.Kind {
+	case KindInt, KindDate, KindBool:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// Float returns the value as float64.
+func (v Value) Float() float64 {
+	switch v.Kind {
+	case KindInt, KindDate, KindBool:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// Time converts a date value to a time.Time at UTC midnight.
+func (v Value) Time() time.Time {
+	return time.Unix(v.I*86400, 0).UTC()
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindDate:
+		return v.Time().Format("2006-01-02")
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.Kind)
+	}
+}
+
+// numericKind reports whether the kind participates in numeric comparison
+// and arithmetic.
+func numericKind(k Kind) bool {
+	return k == KindInt || k == KindFloat || k == KindDate || k == KindBool
+}
+
+// Compare orders two values. NULL sorts before every non-NULL value; values
+// of numeric kinds (INT, FLOAT, DATE, BOOL) compare numerically with each
+// other; strings compare lexicographically. Comparing a string against a
+// numeric value orders by kind to keep the ordering total.
+func Compare(a, b Value) int {
+	if a.Kind == KindNull || b.Kind == KindNull {
+		switch {
+		case a.Kind == KindNull && b.Kind == KindNull:
+			return 0
+		case a.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	an, bn := numericKind(a.Kind), numericKind(b.Kind)
+	switch {
+	case an && bn:
+		// Avoid float conversion when both sides are integral.
+		if a.Kind != KindFloat && b.Kind != KindFloat {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	case !an && !bn:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		default:
+			return 0
+		}
+	case an:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a 64-bit hash of the value, consistent with Equal for values
+// of the same kind family (numeric kinds hash by their numeric value).
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	switch v.Kind {
+	case KindNull:
+		mix(0)
+	case KindString:
+		mix(1)
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	case KindFloat:
+		// Hash floats that hold integral values identically to ints so that
+		// hash joins on mixed numeric columns behave like Compare.
+		if v.F == math.Trunc(v.F) && !math.IsInf(v.F, 0) {
+			return NewInt(int64(v.F)).Hash()
+		}
+		mix(2)
+		bits := math.Float64bits(v.F)
+		for i := 0; i < 8; i++ {
+			mix(byte(bits >> (8 * i)))
+		}
+	default: // KindInt, KindDate, KindBool hash by numeric value
+		mix(3)
+		u := uint64(v.I)
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	}
+	return h
+}
+
+// Add returns a+b with SQL NULL propagation and numeric promotion.
+func Add(a, b Value) Value { return arith(a, b, '+') }
+
+// Sub returns a-b with SQL NULL propagation and numeric promotion.
+func Sub(a, b Value) Value { return arith(a, b, '-') }
+
+// Mul returns a*b with SQL NULL propagation and numeric promotion.
+func Mul(a, b Value) Value { return arith(a, b, '*') }
+
+// Div returns a/b with SQL NULL propagation; division by zero yields NULL.
+func Div(a, b Value) Value { return arith(a, b, '/') }
+
+func arith(a, b Value, op byte) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null()
+	}
+	if a.Kind == KindString || b.Kind == KindString {
+		if op == '+' {
+			return NewString(a.String() + b.String())
+		}
+		return Null()
+	}
+	useFloat := a.Kind == KindFloat || b.Kind == KindFloat || op == '/'
+	if useFloat {
+		af, bf := a.Float(), b.Float()
+		switch op {
+		case '+':
+			return NewFloat(af + bf)
+		case '-':
+			return NewFloat(af - bf)
+		case '*':
+			return NewFloat(af * bf)
+		case '/':
+			if bf == 0 {
+				return Null()
+			}
+			return NewFloat(af / bf)
+		}
+	}
+	ai, bi := a.Int(), b.Int()
+	switch op {
+	case '+':
+		if a.Kind == KindDate || b.Kind == KindDate {
+			return NewDate(ai + bi)
+		}
+		return NewInt(ai + bi)
+	case '-':
+		if a.Kind == KindDate && b.Kind == KindDate {
+			return NewInt(ai - bi)
+		}
+		if a.Kind == KindDate {
+			return NewDate(ai - bi)
+		}
+		return NewInt(ai - bi)
+	case '*':
+		return NewInt(ai * bi)
+	}
+	return Null()
+}

@@ -1,0 +1,379 @@
+package value
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindInt:    "INT",
+		KindFloat:  "FLOAT",
+		KindString: "STRING",
+		KindDate:   "DATE",
+		KindBool:   "BOOL",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(42).String(); got != "Kind(42)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Fatal("Null() not null")
+	}
+	if v := NewInt(7); v.Int() != 7 || v.Float() != 7 || v.String() != "7" {
+		t.Errorf("NewInt accessors wrong: %v", v)
+	}
+	if v := NewFloat(2.5); v.Float() != 2.5 || v.Int() != 2 {
+		t.Errorf("NewFloat accessors wrong: %v", v)
+	}
+	if v := NewString("abc"); v.S != "abc" || v.String() != "abc" {
+		t.Errorf("NewString accessors wrong: %v", v)
+	}
+	if v := NewBool(true); !v.Bool() || v.Int() != 1 {
+		t.Errorf("NewBool(true) wrong: %v", v)
+	}
+	if v := NewBool(false); v.Bool() {
+		t.Errorf("NewBool(false) wrong: %v", v)
+	}
+	if Null().Bool() {
+		t.Error("NULL should not be truthy")
+	}
+	if NewFloat(1.5).Bool() != true || NewFloat(0).Bool() != false {
+		t.Error("float truthiness wrong")
+	}
+	if Null().Int() != 0 || Null().Float() != 0 {
+		t.Error("NULL numeric accessors should be zero")
+	}
+	if NewString("x").Int() != 0 || NewString("x").Float() != 0 {
+		t.Error("string numeric accessors should be zero")
+	}
+}
+
+func TestDates(t *testing.T) {
+	d, err := ParseDate("1995-03-15")
+	if err != nil {
+		t.Fatalf("ParseDate: %v", err)
+	}
+	if d.String() != "1995-03-15" {
+		t.Errorf("date round trip = %q", d.String())
+	}
+	if got := DateFromYMD(1995, 3, 15); !Equal(got, d) {
+		t.Errorf("DateFromYMD mismatch: %v vs %v", got, d)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("expected error for malformed date")
+	}
+	epoch := MustParseDate("1970-01-01")
+	if epoch.I != 0 {
+		t.Errorf("epoch days = %d, want 0", epoch.I)
+	}
+	next := MustParseDate("1970-01-02")
+	if next.I != 1 {
+		t.Errorf("epoch+1 days = %d, want 1", next.I)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseDate should panic on bad input")
+		}
+	}()
+	MustParseDate("bogus")
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null(), Null(), 0},
+		{Null(), NewInt(1), -1},
+		{NewInt(1), Null(), 1},
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewString("c"), NewString("b"), 1},
+		{NewInt(5), NewString("a"), -1},
+		{NewString("a"), NewInt(5), 1},
+		{MustParseDate("1995-01-01"), MustParseDate("1996-01-01"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{NewDate(10), NewInt(10), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if !Equal(NewInt(4), NewFloat(4)) {
+		t.Error("Equal should treat 4 and 4.0 as equal")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(42), NewInt(42)},
+		{NewInt(42), NewFloat(42)},
+		{NewString("abc"), NewString("abc")},
+		{MustParseDate("1995-06-01"), MustParseDate("1995-06-01")},
+		{NewBool(true), NewInt(1)},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Fatalf("precondition: %v != %v", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values hash differently: %v vs %v", p[0], p[1])
+		}
+	}
+	if NewInt(1).Hash() == NewInt(2).Hash() {
+		t.Error("suspicious collision for 1 and 2")
+	}
+	if NewString("a").Hash() == NewString("b").Hash() {
+		t.Error("suspicious collision for strings")
+	}
+	// NaN-ish and infinite floats must not panic.
+	_ = NewFloat(math.Inf(1)).Hash()
+	_ = NewFloat(math.NaN()).Hash()
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := Add(NewInt(2), NewInt(3)); got.Int() != 5 {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := Sub(NewInt(2), NewInt(3)); got.Int() != -1 {
+		t.Errorf("2-3 = %v", got)
+	}
+	if got := Mul(NewInt(4), NewFloat(2.5)); got.Float() != 10 {
+		t.Errorf("4*2.5 = %v", got)
+	}
+	if got := Div(NewInt(7), NewInt(2)); got.Float() != 3.5 {
+		t.Errorf("7/2 = %v", got)
+	}
+	if got := Div(NewInt(7), NewInt(0)); !got.IsNull() {
+		t.Errorf("7/0 = %v, want NULL", got)
+	}
+	if got := Add(Null(), NewInt(1)); !got.IsNull() {
+		t.Errorf("NULL+1 = %v, want NULL", got)
+	}
+	if got := Add(NewString("a"), NewString("b")); got.S != "ab" {
+		t.Errorf("'a'+'b' = %v", got)
+	}
+	if got := Mul(NewString("a"), NewInt(2)); !got.IsNull() {
+		t.Errorf("'a'*2 = %v, want NULL", got)
+	}
+	d := MustParseDate("1995-01-01")
+	if got := Add(d, NewInt(31)); got.String() != "1995-02-01" {
+		t.Errorf("date+31 = %v", got)
+	}
+	if got := Sub(MustParseDate("1995-02-01"), d); got.Int() != 31 {
+		t.Errorf("date-date = %v", got)
+	}
+	if got := Sub(d, NewInt(1)); got.String() != "1994-12-31" {
+		t.Errorf("date-1 = %v", got)
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	rows := [][]Value{
+		{},
+		{Null()},
+		{NewInt(1), NewString("hello"), NewFloat(3.25), MustParseDate("1998-12-01"), NewBool(true), Null()},
+		{NewString(""), NewString(string([]byte{0, 1, 2}))},
+		{NewInt(math.MaxInt64), NewInt(math.MinInt64)},
+	}
+	for _, row := range rows {
+		enc := EncodeTuple(nil, row)
+		if len(enc) != RowSize(row) {
+			t.Errorf("RowSize=%d, len(enc)=%d for %v", RowSize(row), len(enc), row)
+		}
+		dec, n, err := DecodeTuple(enc)
+		if err != nil {
+			t.Fatalf("DecodeTuple(%v): %v", row, err)
+		}
+		if n != len(enc) {
+			t.Errorf("DecodeTuple consumed %d of %d bytes", n, len(enc))
+		}
+		if len(dec) != len(row) {
+			t.Fatalf("decoded %d values, want %d", len(dec), len(row))
+		}
+		for i := range row {
+			if Compare(dec[i], row[i]) != 0 {
+				t.Errorf("field %d: got %v want %v", i, dec[i], row[i])
+			}
+		}
+	}
+}
+
+func TestDecodeTupleErrors(t *testing.T) {
+	if _, _, err := DecodeTuple(nil); err == nil {
+		t.Error("expected error decoding empty buffer")
+	}
+	good := EncodeTuple(nil, []Value{NewString("hello world")})
+	for cut := 1; cut < len(good); cut++ {
+		if _, _, err := DecodeTuple(good[:cut]); err == nil {
+			t.Errorf("expected error decoding truncated buffer of %d bytes", cut)
+		}
+	}
+	if _, _, err := DecodeTuple([]byte{1, 99}); err == nil {
+		t.Error("expected error for unknown kind")
+	}
+}
+
+func TestKeyEncodingOrderPreserving(t *testing.T) {
+	vals := []Value{
+		Null(),
+		NewInt(-1000), NewInt(-1), NewInt(0), NewInt(1), NewInt(999),
+		NewFloat(-2.5), NewFloat(0.5), NewFloat(1e9),
+		MustParseDate("1992-01-01"), MustParseDate("1998-12-31"),
+		NewString(""), NewString("a"), NewString("ab"), NewString("b"),
+	}
+	sorted := make([]Value, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return Compare(sorted[i], sorted[j]) < 0 })
+	var keys [][]byte
+	for _, v := range sorted {
+		keys = append(keys, EncodeKey(nil, []Value{v}))
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) > 0 {
+			t.Errorf("key encoding not order preserving between %v and %v", sorted[i-1], sorted[i])
+		}
+	}
+	// Composite keys: (1,"b") < (2,"a").
+	k1 := EncodeKey(nil, []Value{NewInt(1), NewString("b")})
+	k2 := EncodeKey(nil, []Value{NewInt(2), NewString("a")})
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Error("composite key ordering wrong")
+	}
+	// Strings containing zero bytes keep prefix ordering.
+	s1 := EncodeKey(nil, []Value{NewString("a")})
+	s2 := EncodeKey(nil, []Value{NewString("a\x00b")})
+	if bytes.Compare(s1, s2) >= 0 {
+		t.Error("string with NUL byte should sort after its prefix")
+	}
+}
+
+func TestKeyEncodingPropertyQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := EncodeKey(nil, []Value{NewInt(a)})
+		kb := EncodeKey(nil, []Value{NewInt(b)})
+		return sign(bytes.Compare(ka, kb)) == sign(Compare(NewInt(a), NewInt(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := EncodeKey(nil, []Value{NewFloat(a)})
+		kb := EncodeKey(nil, []Value{NewFloat(b)})
+		return sign(bytes.Compare(ka, kb)) == sign(Compare(NewFloat(a), NewFloat(b)))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+	h := func(a, b string) bool {
+		ka := EncodeKey(nil, []Value{NewString(a)})
+		kb := EncodeKey(nil, []Value{NewString(b)})
+		return sign(bytes.Compare(ka, kb)) == sign(Compare(NewString(a), NewString(b)))
+	}
+	if err := quick.Check(h, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleRoundTripPropertyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		row := randomRow(rng)
+		enc := EncodeTuple(nil, row)
+		dec, _, err := DecodeTuple(enc)
+		if err != nil {
+			t.Fatalf("decode random row: %v", err)
+		}
+		for j := range row {
+			if Compare(dec[j], row[j]) != 0 {
+				t.Fatalf("random row field %d mismatch: %v vs %v", j, dec[j], row[j])
+			}
+		}
+	}
+}
+
+func randomRow(rng *rand.Rand) []Value {
+	n := rng.Intn(8)
+	row := make([]Value, n)
+	for i := range row {
+		switch rng.Intn(5) {
+		case 0:
+			row[i] = Null()
+		case 1:
+			row[i] = NewInt(rng.Int63() - rng.Int63())
+		case 2:
+			row[i] = NewFloat(rng.NormFloat64() * 1000)
+		case 3:
+			buf := make([]byte, rng.Intn(20))
+			rng.Read(buf)
+			row[i] = NewString(string(buf))
+		default:
+			row[i] = NewDate(int64(rng.Intn(20000)))
+		}
+	}
+	return row
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var vals []Value
+	for i := 0; i < 60; i++ {
+		vals = append(vals, randomRow(rng)...)
+	}
+	vals = append(vals, Null(), NewInt(0), NewString(""))
+	// Antisymmetry and transitivity via sort then pairwise check.
+	sort.Slice(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+	for i := 0; i < len(vals); i++ {
+		for j := i; j < len(vals); j++ {
+			if Compare(vals[i], vals[j]) > 0 {
+				t.Fatalf("ordering violated between #%d (%v) and #%d (%v)", i, vals[i], j, vals[j])
+			}
+			if sign(Compare(vals[i], vals[j])) != -sign(Compare(vals[j], vals[i])) {
+				t.Fatalf("antisymmetry violated for %v and %v", vals[i], vals[j])
+			}
+		}
+	}
+}
+
+func TestCloneRow(t *testing.T) {
+	row := []Value{NewInt(1), NewString("x")}
+	cl := CloneRow(row)
+	cl[0] = NewInt(99)
+	if row[0].Int() != 1 {
+		t.Error("CloneRow must not share backing array")
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
