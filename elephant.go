@@ -2,8 +2,9 @@
 // Old Elephant New Tricks" (Nicolas Bruno, CIDR 2009).
 //
 // The package wraps a from-scratch row-store engine (SQL parser, planner,
-// B+-tree storage, Volcano executor) and the paper's two techniques for
-// emulating a column store inside it without engine changes:
+// B+-tree storage, vectorized batch-at-a-time executor with a row-at-a-time
+// Volcano fallback) and the paper's two techniques for emulating a column
+// store inside it without engine changes:
 //
 //   - materialized views (the Row(MV) strategy of Section 2.1), via
 //     CreateMaterializedView and QueryUsingViews;
@@ -41,6 +42,12 @@ type Options struct {
 	TupleOverhead int
 	// BufferPoolPages bounds the buffer pool; 0 keeps every page resident.
 	BufferPoolPages int
+	// Vectorized selects batch-at-a-time execution; it is the default, so
+	// the zero Options value runs vectorized. Set DisableVectorized to force
+	// the row-at-a-time Volcano executor (kept for differential testing).
+	Vectorized bool
+	// DisableVectorized forces row-at-a-time execution (see Vectorized).
+	DisableVectorized bool
 }
 
 // Open creates an empty database.
@@ -48,7 +55,12 @@ func Open(opts Options) *DB {
 	if opts.TupleOverhead == 0 {
 		opts.TupleOverhead = -1 // engine default
 	}
-	e := engine.New(engine.Options{TupleOverhead: opts.TupleOverhead, BufferPoolPages: opts.BufferPoolPages})
+	e := engine.New(engine.Options{
+		TupleOverhead:     opts.TupleOverhead,
+		BufferPoolPages:   opts.BufferPoolPages,
+		Vectorized:        opts.Vectorized,
+		DisableVectorized: opts.DisableVectorized,
+	})
 	return &DB{Engine: e, views: matview.NewManager(e)}
 }
 

@@ -1,0 +1,3 @@
+module oldelephant
+
+go 1.24

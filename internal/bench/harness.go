@@ -74,6 +74,10 @@ type Config struct {
 	Disk DiskModel
 	// TupleOverhead is the per-tuple overhead of the row store (default 9).
 	TupleOverhead int
+	// DisableVectorized runs the engine row-at-a-time instead of the default
+	// batch-at-a-time executor; used for differential testing and the
+	// row-vs-batch microbenchmarks.
+	DisableVectorized bool
 }
 
 // DefaultConfig returns the configuration used by the checked-in benchmarks.
@@ -116,7 +120,7 @@ func NewHarness(cfg Config) (*Harness, error) {
 	if cfg.SF <= 0 {
 		cfg.SF = DefaultConfig().SF
 	}
-	e := engine.New(engine.Options{TupleOverhead: cfg.TupleOverhead})
+	e := engine.New(engine.Options{TupleOverhead: cfg.TupleOverhead, DisableVectorized: cfg.DisableVectorized})
 	gen := tpch.NewGenerator(cfg.SF)
 	if err := gen.LoadCore(e); err != nil {
 		return nil, err

@@ -138,6 +138,11 @@ type Measurement struct {
 	Wall        time.Duration
 	IO          storage.IOStats
 	PagesRead   int64
+	// RowsPerSec is the result-row delivery rate (rows returned per
+	// wall-clock second), recorded for consumers of Measurement; the
+	// row-vs-batch executor throughput comparison itself lives in the
+	// microbenchmarks (vector_bench_test.go), which measure scanned rows.
+	RowsPerSec  float64
 	ModeledDisk time.Duration
 	// Total is the modeled end-to-end time: modeled disk time plus the CPU
 	// (wall) time of execution. ColOpt by definition has no CPU component.
@@ -146,6 +151,31 @@ type Measurement struct {
 	// Matched reports whether Row(MV) found a matching view (always true for
 	// the workload; kept for diagnostics).
 	Matched bool
+}
+
+// strategySQL resolves the SQL text actually executed for one of the
+// row-engine strategies: the base-table query for Row, the view rewriting for
+// Row(MV), the c-table rewriting for Row(Col). ColOpt has no SQL (it is a
+// modeled lower bound).
+func (h *Harness) strategySQL(q QueryID, spec querySpec, strategy Strategy, query string) (string, error) {
+	switch strategy {
+	case StrategyRow:
+		return query, nil
+	case StrategyRowMV:
+		stmtSQL, matched, err := h.Views.RewriteSQL(query)
+		if err != nil {
+			return "", err
+		}
+		if !matched {
+			return "", fmt.Errorf("bench: no materialized view matches %s", q)
+		}
+		return stmtSQL, nil
+	case StrategyRowCol:
+		rw := rewrite.New(h.Designs[spec.design])
+		return rw.RewriteSQL(query)
+	default:
+		return "", fmt.Errorf("bench: unknown strategy %q", strategy)
+	}
 }
 
 // Run executes one query under one strategy at the given selectivity
@@ -177,28 +207,9 @@ func (h *Harness) Run(q QueryID, strategy Strategy, selectivity float64) (Measur
 		return m, nil
 	}
 
-	var sqlText string
-	switch strategy {
-	case StrategyRow:
-		sqlText = query
-	case StrategyRowMV:
-		stmtSQL, matched, err := h.Views.RewriteSQL(query)
-		if err != nil {
-			return Measurement{}, err
-		}
-		if !matched {
-			return Measurement{}, fmt.Errorf("bench: no materialized view matches %s", q)
-		}
-		sqlText = stmtSQL
-	case StrategyRowCol:
-		rw := rewrite.New(h.Designs[spec.design])
-		rewritten, err := rw.RewriteSQL(query)
-		if err != nil {
-			return Measurement{}, err
-		}
-		sqlText = rewritten
-	default:
-		return Measurement{}, fmt.Errorf("bench: unknown strategy %q", strategy)
+	sqlText, err := h.strategySQL(q, spec, strategy, query)
+	if err != nil {
+		return Measurement{}, err
 	}
 
 	h.Engine.ResetBufferPool()
@@ -208,6 +219,9 @@ func (h *Harness) Run(q QueryID, strategy Strategy, selectivity float64) (Measur
 	}
 	m.Rows = len(res.Rows)
 	m.Wall = res.Stats.Wall
+	if secs := m.Wall.Seconds(); secs > 0 {
+		m.RowsPerSec = float64(m.Rows) / secs
+	}
 	m.IO = res.Stats.IO
 	m.PagesRead = res.Stats.IO.PageReads
 	m.ModeledDisk = h.Config.Disk.Time(res.Stats.IO)

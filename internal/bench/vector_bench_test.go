@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"oldelephant/internal/engine"
+	"oldelephant/internal/value"
+)
+
+// The row-vs-batch executor microbenchmarks: the same SQL over the same
+// loaded table, one engine per executor mode. The workload is the shape the
+// vectorized refactor targets — a selection-heavy scan-filter-aggregate
+// pipeline — plus a pure aggregation without a filter.
+//
+//	go test ./internal/bench -bench 'ScanFilterAgg|GroupAgg'
+
+const benchRows = 150000
+
+var (
+	benchOnce    sync.Once
+	benchVecEng  *engine.Engine
+	benchRowEng  *engine.Engine
+	benchLoadErr error
+)
+
+// benchEngines builds two engines (vectorized and row-at-a-time) holding an
+// identical 150k-row table. The load happens once per process.
+func benchEngines(tb testing.TB) (vec, row *engine.Engine) {
+	tb.Helper()
+	benchOnce.Do(func() {
+		build := func(disable bool) (*engine.Engine, error) {
+			e := engine.New(engine.Options{TupleOverhead: -1, DisableVectorized: disable})
+			_, err := e.Execute("CREATE TABLE items (id INT, supp INT, ship DATE, price FLOAT, PRIMARY KEY (id))")
+			if err != nil {
+				return nil, err
+			}
+			rows := make([][]value.Value, benchRows)
+			base := value.MustParseDate("1995-01-01").Int()
+			for i := range rows {
+				rows[i] = []value.Value{
+					value.NewInt(int64(i)),
+					value.NewInt(int64(i % 100)),
+					value.NewDate(base + int64(i%365)),
+					value.NewFloat(float64(100 + i%1000)),
+				}
+			}
+			if err := e.BulkLoad("items", rows); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		benchVecEng, benchLoadErr = build(false)
+		if benchLoadErr == nil {
+			benchRowEng, benchLoadErr = build(true)
+		}
+	})
+	if benchLoadErr != nil {
+		tb.Fatal(benchLoadErr)
+	}
+	return benchVecEng, benchRowEng
+}
+
+// scanFilterAggSQL selects ~60% of the table through two conjuncts, then
+// groups into 100 groups — the paper-workload shape (Q1/Q3) at larger scale.
+const scanFilterAggSQL = "SELECT supp, COUNT(*), SUM(price) FROM items " +
+	"WHERE ship > DATE '1995-03-01' AND price < 850 GROUP BY supp"
+
+// groupAggSQL aggregates every row with no filter.
+const groupAggSQL = "SELECT supp, SUM(price), MAX(ship), COUNT(*) FROM items GROUP BY supp"
+
+func runQueryBench(b *testing.B, e *engine.Engine, sql string) {
+	b.Helper()
+	rowsOut := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Query(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rowsOut = len(res.Rows)
+	}
+	b.StopTimer()
+	if rowsOut == 0 {
+		b.Fatal("benchmark query returned no rows")
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkScanFilterAggRow(b *testing.B) {
+	_, row := benchEngines(b)
+	runQueryBench(b, row, scanFilterAggSQL)
+}
+
+func BenchmarkScanFilterAggVectorized(b *testing.B) {
+	vec, _ := benchEngines(b)
+	runQueryBench(b, vec, scanFilterAggSQL)
+}
+
+func BenchmarkGroupAggRow(b *testing.B) {
+	_, row := benchEngines(b)
+	runQueryBench(b, row, groupAggSQL)
+}
+
+func BenchmarkGroupAggVectorized(b *testing.B) {
+	vec, _ := benchEngines(b)
+	runQueryBench(b, vec, groupAggSQL)
+}
+
+// TestBenchQueriesAgree keeps the benchmark honest: both executor modes must
+// return identical results for the benchmarked SQL.
+func TestBenchQueriesAgree(t *testing.T) {
+	vec, row := benchEngines(t)
+	for _, sql := range []string{scanFilterAggSQL, groupAggSQL} {
+		vres, err := vec.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres, err := row.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vres.Rows) == 0 {
+			t.Fatal("benchmark query returned no rows")
+		}
+		if got, want := formatRows(vres.Rows), formatRows(rres.Rows); got != want {
+			t.Fatalf("benchmark query diverges between modes:\n%s\nvs\n%s", clip(got), clip(want))
+		}
+	}
+}

@@ -369,11 +369,19 @@ type RowIterator struct {
 
 // Next returns the next row; ok is false at the end.
 func (it *RowIterator) Next() (row []value.Value, ok bool, err error) {
+	return it.NextInto(nil)
+}
+
+// NextInto is Next decoding into buf when its capacity allows (clustered
+// tables only; heap rows are always freshly decoded). The returned row may
+// alias buf, so callers must copy values they retain past the next call —
+// the batch scans do exactly that when transposing rows into column vectors.
+func (it *RowIterator) NextInto(buf []value.Value) (row []value.Value, ok bool, err error) {
 	if it.tree != nil {
 		if !it.tree.Next() {
 			return nil, false, nil
 		}
-		row, _, err := value.DecodeTuple(it.tree.Value())
+		row, _, err := value.DecodeTupleInto(buf, it.tree.Value())
 		if err != nil {
 			return nil, false, err
 		}

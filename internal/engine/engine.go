@@ -24,13 +24,21 @@ type Options struct {
 	// TupleOverhead is the per-tuple storage overhead in bytes. Negative
 	// selects storage.DefaultTupleOverhead (9 bytes, as in the paper).
 	TupleOverhead int
+	// Vectorized selects batch-at-a-time (MonetDB/X100-style) execution and
+	// is the default: the zero Options value runs vectorized. Setting
+	// DisableVectorized forces the row-at-a-time Volcano path, kept for
+	// differential testing; an explicit Vectorized overrides it.
+	Vectorized bool
+	// DisableVectorized forces row-at-a-time execution (see Vectorized).
+	DisableVectorized bool
 }
 
 // Engine is a single-node, in-process database instance.
 type Engine struct {
-	pager *storage.Pager
-	cat   *catalog.Catalog
-	views map[string]*ViewDef
+	pager      *storage.Pager
+	cat        *catalog.Catalog
+	views      map[string]*ViewDef
+	vectorized bool
 }
 
 // ViewDef records a materialized view: its defining query and backing table.
@@ -56,15 +64,19 @@ func New(opts Options) *Engine {
 	}
 	pager := storage.NewPager(opts.BufferPoolPages)
 	return &Engine{
-		pager: pager,
-		cat:   catalog.New(pager, overhead),
-		views: make(map[string]*ViewDef),
+		pager:      pager,
+		cat:        catalog.New(pager, overhead),
+		views:      make(map[string]*ViewDef),
+		vectorized: opts.Vectorized || !opts.DisableVectorized,
 	}
 }
 
 // Default returns an engine with the default options used throughout the
 // paper reproduction: unbounded buffer pool and 9 bytes of tuple overhead.
 func Default() *Engine { return New(Options{TupleOverhead: -1}) }
+
+// Vectorized reports whether the engine executes queries batch-at-a-time.
+func (e *Engine) Vectorized() bool { return e.vectorized }
 
 // Catalog exposes the engine's catalog.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
@@ -154,7 +166,12 @@ func (e *Engine) runSelect(stmt *sql.SelectStmt) (*Result, error) {
 	}
 	before := e.pager.Stats()
 	start := time.Now()
-	rows, err := exec.Drain(pl.Root)
+	var rows []exec.Row
+	if e.vectorized {
+		rows, err = exec.DrainVectorized(pl.Root)
+	} else {
+		rows, err = exec.Drain(pl.Root)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -105,5 +105,13 @@ func (v *ValuesScan) Next() (Row, bool, error) {
 	return row, true, nil
 }
 
+// NextBatch implements BatchOperator.
+func (v *ValuesScan) NextBatch() (*Batch, bool, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, false, nil
+	}
+	return batchFromRows(v.Rows, &v.pos, len(v.Cols)), true, nil
+}
+
 // Close implements Operator.
 func (v *ValuesScan) Close() error { return nil }

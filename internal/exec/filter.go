@@ -7,10 +7,14 @@ import (
 	"oldelephant/internal/value"
 )
 
-// Filter passes through rows for which the predicate evaluates to true.
+// Filter passes through rows for which the predicate evaluates to true. In
+// batch mode it never copies surviving rows: it narrows each input batch's
+// selection vector through the vectorized predicate kernels.
 type Filter struct {
 	Input Operator
 	Pred  expr.Expr
+
+	binput BatchOperator
 }
 
 // NewFilter wraps an operator with a predicate.
@@ -22,7 +26,10 @@ func NewFilter(input Operator, pred expr.Expr) *Filter {
 func (f *Filter) Schema() []ColumnInfo { return f.Input.Schema() }
 
 // Open implements Operator.
-func (f *Filter) Open() error { return f.Input.Open() }
+func (f *Filter) Open() error {
+	f.binput = AsBatchOperator(f.Input)
+	return f.Input.Open()
+}
 
 // Next implements Operator.
 func (f *Filter) Next() (Row, bool, error) {
@@ -41,16 +48,41 @@ func (f *Filter) Next() (Row, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator.
+func (f *Filter) NextBatch() (*Batch, bool, error) {
+	if f.binput == nil {
+		return nil, false, errNotOpen("Filter")
+	}
+	for {
+		b, ok, err := f.binput.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		sel, err := expr.SelectVector(f.Pred, b.Cols, b.Sel, b.physRows())
+		if err != nil {
+			return nil, false, err
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		b.Sel = sel
+		return b, true, nil
+	}
+}
+
 // Close implements Operator.
 func (f *Filter) Close() error { return f.Input.Close() }
 
-// Project computes a list of expressions over each input row.
+// Project computes a list of expressions over each input row. In batch mode
+// every expression is evaluated over whole vectors; plain column references
+// pass the input vector through without copying.
 type Project struct {
 	Input Operator
 	Exprs []expr.Expr
 	Names []string
 
 	schema []ColumnInfo
+	binput BatchOperator
 }
 
 // NewProject builds a projection; names label the output columns.
@@ -78,7 +110,10 @@ func NewProject(input Operator, exprs []expr.Expr, names []string) *Project {
 func (p *Project) Schema() []ColumnInfo { return p.schema }
 
 // Open implements Operator.
-func (p *Project) Open() error { return p.Input.Open() }
+func (p *Project) Open() error {
+	p.binput = AsBatchOperator(p.Input)
+	return p.Input.Open()
+}
 
 // Next implements Operator.
 func (p *Project) Next() (Row, bool, error) {
@@ -97,6 +132,22 @@ func (p *Project) Next() (Row, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch implements BatchOperator.
+func (p *Project) NextBatch() (*Batch, bool, error) {
+	if p.binput == nil {
+		return nil, false, errNotOpen("Project")
+	}
+	b, ok, err := p.binput.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	vecs, err := evalProjectionVectors(p.Exprs, b)
+	if err != nil {
+		return nil, false, err
+	}
+	return projectedBatch(vecs, b), true, nil
+}
+
 // Close implements Operator.
 func (p *Project) Close() error { return p.Input.Close() }
 
@@ -108,6 +159,7 @@ type Limit struct {
 
 	emitted int64
 	skipped int64
+	binput  BatchOperator
 }
 
 // NewLimit wraps an operator with LIMIT/OFFSET semantics. n < 0 means no limit.
@@ -121,6 +173,7 @@ func (l *Limit) Schema() []ColumnInfo { return l.Input.Schema() }
 // Open implements Operator.
 func (l *Limit) Open() error {
 	l.emitted, l.skipped = 0, 0
+	l.binput = AsBatchOperator(l.Input)
 	return l.Input.Open()
 }
 
@@ -143,6 +196,49 @@ func (l *Limit) Next() (Row, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator.
+func (l *Limit) NextBatch() (*Batch, bool, error) {
+	if l.binput == nil {
+		return nil, false, errNotOpen("Limit")
+	}
+	for {
+		if l.N >= 0 && l.emitted >= l.N {
+			return nil, false, nil
+		}
+		b, ok, err := l.binput.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		n := b.NumRows()
+		start := 0
+		if l.skipped < l.Offset {
+			need := l.Offset - l.skipped
+			if int64(n) <= need {
+				l.skipped += int64(n)
+				continue
+			}
+			l.skipped += need
+			start = int(need)
+		}
+		end := n
+		if l.N >= 0 {
+			if remaining := l.N - l.emitted; int64(end-start) > remaining {
+				end = start + int(remaining)
+			}
+		}
+		l.emitted += int64(end - start)
+		if start == 0 && end == n {
+			return b, true, nil
+		}
+		sel := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			sel = append(sel, b.PhysIdx(i))
+		}
+		b.Sel = sel
+		return b, true, nil
+	}
+}
+
 // Close implements Operator.
 func (l *Limit) Close() error { return l.Input.Close() }
 
@@ -152,13 +248,17 @@ type SortKey struct {
 	Desc bool
 }
 
-// Sort materializes its input and emits it ordered by the sort keys.
+// Sort materializes its input and emits it ordered by the sort keys. The
+// materialization is deferred to the first Next/NextBatch call so that it can
+// drain its input through whichever pull protocol the parent is using.
 type Sort struct {
 	Input Operator
 	Keys  []SortKey
 
-	rows []Row
-	pos  int
+	rows   []Row
+	pos    int
+	sorted bool
+	binput BatchOperator
 }
 
 // NewSort builds an in-memory sort.
@@ -171,24 +271,43 @@ func (s *Sort) Schema() []ColumnInfo { return s.Input.Schema() }
 
 // Open implements Operator.
 func (s *Sort) Open() error {
-	if err := s.Input.Open(); err != nil {
-		return err
-	}
 	s.rows = nil
 	s.pos = 0
-	for {
-		row, ok, err := s.Input.Next()
-		if err != nil {
-			return err
+	s.sorted = false
+	s.binput = AsBatchOperator(s.Input)
+	return s.Input.Open()
+}
+
+// materialize drains the input (batch-wise when the parent pulls batches) and
+// sorts the collected rows.
+func (s *Sort) materialize(batchWise bool) error {
+	if batchWise {
+		for {
+			b, ok, err := s.binput.NextBatch()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			s.rows = b.AppendRows(s.rows)
 		}
-		if !ok {
-			break
+	} else {
+		for {
+			row, ok, err := s.Input.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			s.rows = append(s.rows, row)
 		}
-		s.rows = append(s.rows, row)
 	}
 	sort.SliceStable(s.rows, func(i, j int) bool {
 		return compareRows(s.rows[i], s.rows[j], s.Keys) < 0
 	})
+	s.sorted = true
 	return nil
 }
 
@@ -208,6 +327,11 @@ func compareRows(a, b Row, keys []SortKey) int {
 
 // Next implements Operator.
 func (s *Sort) Next() (Row, bool, error) {
+	if !s.sorted {
+		if err := s.materialize(false); err != nil {
+			return nil, false, err
+		}
+	}
 	if s.pos >= len(s.rows) {
 		return nil, false, nil
 	}
@@ -216,8 +340,25 @@ func (s *Sort) Next() (Row, bool, error) {
 	return row, true, nil
 }
 
+// NextBatch implements BatchOperator.
+func (s *Sort) NextBatch() (*Batch, bool, error) {
+	if s.binput == nil {
+		return nil, false, errNotOpen("Sort")
+	}
+	if !s.sorted {
+		if err := s.materialize(true); err != nil {
+			return nil, false, err
+		}
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	return batchFromRows(s.rows, &s.pos, len(s.Schema())), true, nil
+}
+
 // Close implements Operator.
 func (s *Sort) Close() error {
 	s.rows = nil
+	s.sorted = false
 	return s.Input.Close()
 }

@@ -35,6 +35,34 @@ func allOrdinals(n int) []int {
 	return out
 }
 
+// fillBatchFromIterator pulls up to DefaultBatchSize rows from a row
+// iterator into a fresh column-major batch, projecting the given base-table
+// ordinals. A nil batch result means the iterator is exhausted.
+func fillBatchFromIterator(it *catalog.RowIterator, cols []int) (*Batch, error) {
+	b := NewBatch(len(cols), DefaultBatchSize)
+	// The decode buffer is reused across rows: values are copied into the
+	// column vectors immediately, so the aliasing is safe.
+	var buf []value.Value
+	for b.physRows() < DefaultBatchSize {
+		row, ok, err := it.NextInto(buf)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		buf = row
+		for i, ord := range cols {
+			b.Cols[i] = append(b.Cols[i], row[ord])
+		}
+		b.n++
+	}
+	if b.physRows() == 0 {
+		return nil, nil
+	}
+	return b, nil
+}
+
 // SeqScan reads every row of a table (clustered-key order for clustered
 // tables, insertion order for heaps) and projects the requested columns.
 type SeqScan struct {
@@ -72,6 +100,18 @@ func (s *SeqScan) Next() (Row, bool, error) {
 		return nil, false, err
 	}
 	return projectRow(row, s.Cols), true, nil
+}
+
+// NextBatch implements BatchOperator.
+func (s *SeqScan) NextBatch() (*Batch, bool, error) {
+	if s.it == nil {
+		return nil, false, errNotOpen("SeqScan")
+	}
+	b, err := fillBatchFromIterator(s.it, s.Cols)
+	if err != nil || b == nil {
+		return nil, false, err
+	}
+	return b, true, nil
 }
 
 // Close implements Operator.
@@ -132,6 +172,18 @@ func (s *ClusteredSeek) Next() (Row, bool, error) {
 	return projectRow(row, s.Cols), true, nil
 }
 
+// NextBatch implements BatchOperator.
+func (s *ClusteredSeek) NextBatch() (*Batch, bool, error) {
+	if s.it == nil {
+		return nil, false, errNotOpen("ClusteredSeek")
+	}
+	b, err := fillBatchFromIterator(s.it, s.Cols)
+	if err != nil || b == nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
 // Close implements Operator.
 func (s *ClusteredSeek) Close() error {
 	s.it = nil
@@ -187,6 +239,23 @@ func (s *IndexSeek) Open() error {
 	return nil
 }
 
+// rowFromEntry converts one index entry into an output row, resolving the
+// base row when the index does not cover the requested columns.
+func (s *IndexSeek) rowFromEntry(entry catalog.IndexEntry) (Row, error) {
+	if s.covered {
+		out := make(Row, len(s.Cols))
+		for i, ord := range s.Cols {
+			out[i] = entry.Values[s.entryPos[ord]]
+		}
+		return out, nil
+	}
+	base, err := lookupBaseRow(s.Index, entry)
+	if err != nil {
+		return nil, err
+	}
+	return projectRow(base, s.Cols), nil
+}
+
 // Next implements Operator.
 func (s *IndexSeek) Next() (Row, bool, error) {
 	if s.it == nil {
@@ -196,18 +265,37 @@ func (s *IndexSeek) Next() (Row, bool, error) {
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	if s.covered {
-		out := make(Row, len(s.Cols))
-		for i, ord := range s.Cols {
-			out[i] = entry.Values[s.entryPos[ord]]
-		}
-		return out, true, nil
-	}
-	base, err := lookupBaseRow(s.Index, entry)
+	row, err := s.rowFromEntry(entry)
 	if err != nil {
 		return nil, false, err
 	}
-	return projectRow(base, s.Cols), true, nil
+	return row, true, nil
+}
+
+// NextBatch implements BatchOperator.
+func (s *IndexSeek) NextBatch() (*Batch, bool, error) {
+	if s.it == nil {
+		return nil, false, errNotOpen("IndexSeek")
+	}
+	b := NewBatch(len(s.Cols), DefaultBatchSize)
+	for b.physRows() < DefaultBatchSize {
+		entry, ok, err := s.it.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		row, err := s.rowFromEntry(entry)
+		if err != nil {
+			return nil, false, err
+		}
+		b.AppendRow(row)
+	}
+	if b.physRows() == 0 {
+		return nil, false, nil
+	}
+	return b, true, nil
 }
 
 // Close implements Operator.

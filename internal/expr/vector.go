@@ -1,0 +1,463 @@
+package expr
+
+import (
+	"fmt"
+
+	"oldelephant/internal/value"
+)
+
+// This file implements vectorized (batch-at-a-time) expression evaluation in
+// the style of MonetDB/X100: expressions are evaluated over whole column
+// vectors under a selection vector instead of one row at a time, so the
+// per-row interpretation overhead (tree walk, interface dispatch) is paid
+// once per batch rather than once per value.
+//
+// Conventions shared with the exec package's Batch:
+//
+//   - cols is a column-major batch: cols[c][i] is column c of physical row i;
+//   - n is the physical row count (needed when cols is empty);
+//   - sel is an optional selection vector of physical row indices, in
+//     ascending order; nil means all n rows are live;
+//   - result vectors are physically aligned with cols: entry i corresponds to
+//     physical row i. Entries outside the selection are unspecified.
+//
+// Column references evaluate to the input vector itself (zero copy), which is
+// why callers must treat result vectors as read-only.
+
+// forEachSel visits every live physical row index.
+func forEachSel(sel []int, n int, fn func(i int)) {
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	for _, i := range sel {
+		fn(i)
+	}
+}
+
+// EvalVector evaluates an expression over a column-major batch, returning a
+// vector physically aligned with the input columns. Only entries covered by
+// sel are meaningful.
+func EvalVector(e Expr, cols [][]value.Value, sel []int, n int) ([]value.Value, error) {
+	switch t := e.(type) {
+	case *Column:
+		if t.Index < 0 || t.Index >= len(cols) {
+			return nil, fmt.Errorf("expr: column ordinal %d out of range (batch has %d columns)", t.Index, len(cols))
+		}
+		return cols[t.Index], nil
+	case *Const:
+		out := make([]value.Value, n)
+		for i := range out {
+			out[i] = t.Val
+		}
+		return out, nil
+	case *Binary:
+		return evalBinaryVector(t, cols, sel, n)
+	case *Not:
+		in, err := EvalVector(t.E, cols, sel, n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]value.Value, n)
+		forEachSel(sel, n, func(i int) {
+			v := in[i]
+			if v.IsNull() {
+				out[i] = value.Null()
+			} else {
+				out[i] = value.NewBool(!v.Bool())
+			}
+		})
+		return out, nil
+	case *Between:
+		ev, err := EvalVector(t.E, cols, sel, n)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := EvalVector(t.Lo, cols, sel, n)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := EvalVector(t.Hi, cols, sel, n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]value.Value, n)
+		forEachSel(sel, n, func(i int) {
+			v, l, h := ev[i], lo[i], hi[i]
+			if v.IsNull() || l.IsNull() || h.IsNull() {
+				out[i] = value.Null()
+			} else {
+				out[i] = value.NewBool(value.Compare(v, l) >= 0 && value.Compare(v, h) <= 0)
+			}
+		})
+		return out, nil
+	case *IsNull:
+		in, err := EvalVector(t.E, cols, sel, n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]value.Value, n)
+		forEachSel(sel, n, func(i int) {
+			out[i] = value.NewBool(in[i].IsNull() != t.Negate)
+		})
+		return out, nil
+	case *InList:
+		ev, err := EvalVector(t.E, cols, sel, n)
+		if err != nil {
+			return nil, err
+		}
+		items := make([][]value.Value, len(t.List))
+		for j, item := range t.List {
+			iv, err := EvalVector(item, cols, sel, n)
+			if err != nil {
+				return nil, err
+			}
+			items[j] = iv
+		}
+		out := make([]value.Value, n)
+		forEachSel(sel, n, func(i int) {
+			v := ev[i]
+			if v.IsNull() {
+				out[i] = value.Null()
+				return
+			}
+			res := value.NewBool(false)
+			for _, iv := range items {
+				if !iv[i].IsNull() && value.Compare(v, iv[i]) == 0 {
+					res = value.NewBool(true)
+					break
+				}
+			}
+			out[i] = res
+		})
+		return out, nil
+	case nil:
+		return nil, fmt.Errorf("expr: cannot evaluate nil expression vector")
+	default:
+		// Unknown expression type: fall back to row-at-a-time evaluation by
+		// gathering each live row. Correct for any Expr, just not vectorized.
+		out := make([]value.Value, n)
+		row := make([]value.Value, len(cols))
+		var evalErr error
+		forEachSel(sel, n, func(i int) {
+			if evalErr != nil {
+				return
+			}
+			for c := range cols {
+				row[c] = cols[c][i]
+			}
+			v, err := e.Eval(row)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			out[i] = v
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		return out, nil
+	}
+}
+
+// evalBinaryVector evaluates arithmetic, comparison and logical binary
+// operators over vectors. Logical AND/OR use three-valued SQL logic; both
+// sides are evaluated in full (expressions are side-effect free, so skipping
+// the row-at-a-time short circuit is safe).
+func evalBinaryVector(b *Binary, cols [][]value.Value, sel []int, n int) ([]value.Value, error) {
+	l, err := EvalVector(b.L, cols, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	r, err := EvalVector(b.R, cols, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Value, n)
+	switch b.Op {
+	case OpAdd:
+		forEachSel(sel, n, func(i int) { out[i] = value.Add(l[i], r[i]) })
+	case OpSub:
+		forEachSel(sel, n, func(i int) { out[i] = value.Sub(l[i], r[i]) })
+	case OpMul:
+		forEachSel(sel, n, func(i int) { out[i] = value.Mul(l[i], r[i]) })
+	case OpDiv:
+		forEachSel(sel, n, func(i int) { out[i] = value.Div(l[i], r[i]) })
+	case OpAnd:
+		// Mirrors the row-at-a-time Eval exactly (including its left-biased
+		// NULL handling): a false left short-circuits to false; otherwise a
+		// NULL on either side yields NULL.
+		forEachSel(sel, n, func(i int) {
+			lv, rv := l[i], r[i]
+			switch {
+			case !lv.IsNull() && !lv.Bool():
+				out[i] = value.NewBool(false)
+			case lv.IsNull() || rv.IsNull():
+				out[i] = value.Null()
+			default:
+				out[i] = value.NewBool(lv.Bool() && rv.Bool())
+			}
+		})
+	case OpOr:
+		forEachSel(sel, n, func(i int) {
+			lv, rv := l[i], r[i]
+			switch {
+			case !lv.IsNull() && lv.Bool():
+				out[i] = value.NewBool(true)
+			case lv.IsNull() || rv.IsNull():
+				out[i] = value.Null()
+			default:
+				out[i] = value.NewBool(lv.Bool() || rv.Bool())
+			}
+		})
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		forEachSel(sel, n, func(i int) {
+			lv, rv := l[i], r[i]
+			if lv.IsNull() || rv.IsNull() {
+				out[i] = value.Null()
+				return
+			}
+			out[i] = value.NewBool(cmpSatisfies(b.Op, value.Compare(lv, rv)))
+		})
+	default:
+		return nil, fmt.Errorf("expr: unknown operator %d", b.Op)
+	}
+	return out, nil
+}
+
+// cmpSatisfies reports whether a three-way comparison result satisfies a
+// comparison operator.
+func cmpSatisfies(op BinaryOp, cmp int) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// SelectVector filters a selection vector through a predicate: it returns the
+// physical indices of the live rows for which the predicate is TRUE (NULL and
+// FALSE both drop the row, matching EvalBool). A nil predicate keeps every
+// live row. The returned slice is freshly allocated unless it is the input
+// sel itself.
+func SelectVector(pred Expr, cols [][]value.Value, sel []int, n int) ([]int, error) {
+	if pred == nil {
+		if sel != nil {
+			return sel, nil
+		}
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	switch t := pred.(type) {
+	case *Binary:
+		if t.Op == OpAnd {
+			// Conjuncts narrow the selection progressively: each kernel only
+			// inspects rows that survived the previous one.
+			s, err := SelectVector(t.L, cols, sel, n)
+			if err != nil {
+				return nil, err
+			}
+			if len(s) == 0 {
+				return s, nil
+			}
+			return SelectVector(t.R, cols, s, n)
+		}
+		if t.Op.IsComparison() {
+			if out, ok, err := selectCmpFast(t, cols, sel, n); ok || err != nil {
+				return out, err
+			}
+		}
+	case *Between:
+		if out, ok, err := selectBetweenFast(t, cols, sel, n); ok || err != nil {
+			return out, err
+		}
+	}
+	// Generic path: evaluate the predicate vector and keep the TRUE rows.
+	res, err := EvalVector(pred, cols, sel, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, selLen(sel, n))
+	forEachSel(sel, n, func(i int) {
+		if v := res[i]; !v.IsNull() && v.Bool() {
+			out = append(out, i)
+		}
+	})
+	return out, nil
+}
+
+// selLen returns the number of live rows.
+func selLen(sel []int, n int) int {
+	if sel == nil {
+		return n
+	}
+	return len(sel)
+}
+
+// colConst decomposes a binary comparison into (column, constant, flipped) if
+// it has the shape col OP const or const OP col.
+func colConst(b *Binary) (col *Column, c value.Value, flipped, ok bool) {
+	if l, lok := b.L.(*Column); lok {
+		if r, rok := b.R.(*Const); rok {
+			return l, r.Val, false, true
+		}
+	}
+	if l, lok := b.L.(*Const); lok {
+		if r, rok := b.R.(*Column); rok {
+			return r, l.Val, true, true
+		}
+	}
+	return nil, value.Value{}, false, false
+}
+
+// flipOp mirrors a comparison operator (for const OP col rewritten as
+// col flip(OP) const).
+func flipOp(op BinaryOp) BinaryOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default: // OpEq, OpNe are symmetric
+		return op
+	}
+}
+
+// intLike reports whether the kind compares through the I field.
+func intLike(k value.Kind) bool {
+	return k == value.KindInt || k == value.KindDate || k == value.KindBool
+}
+
+// selectCmpFast is the typed kernel for col OP const comparisons — the common
+// case for pushed-down scan predicates. ok is false when the predicate does
+// not have that shape.
+func selectCmpFast(b *Binary, cols [][]value.Value, sel []int, n int) ([]int, bool, error) {
+	col, c, flipped, ok := colConst(b)
+	if !ok {
+		return nil, false, nil
+	}
+	if col.Index < 0 || col.Index >= len(cols) {
+		return nil, true, fmt.Errorf("expr: column ordinal %d out of range (batch has %d columns)", col.Index, len(cols))
+	}
+	op := b.Op
+	if flipped {
+		op = flipOp(op)
+	}
+	vec := cols[col.Index]
+	out := make([]int, 0, selLen(sel, n))
+	if c.IsNull() {
+		return out, true, nil // NULL comparison never passes
+	}
+	if intLike(c.Kind) || c.Kind == value.KindFloat {
+		// Numeric fast path: integer-family pairs compare through the I
+		// field, any other numeric pair through float64 — both exactly as
+		// value.Compare does, without its dispatch.
+		ci, cf, cInt := c.I, c.Float(), intLike(c.Kind)
+		forEachSel(sel, n, func(i int) {
+			v := vec[i]
+			var cmp int
+			switch {
+			case cInt && intLike(v.Kind):
+				switch {
+				case v.I < ci:
+					cmp = -1
+				case v.I > ci:
+					cmp = 1
+				}
+			case v.Kind == value.KindFloat || (!cInt && intLike(v.Kind)):
+				vf := v.Float()
+				switch {
+				case vf < cf:
+					cmp = -1
+				case vf > cf:
+					cmp = 1
+				}
+			case v.Kind == value.KindNull:
+				return
+			default:
+				cmp = value.Compare(v, c)
+			}
+			if cmpSatisfies(op, cmp) {
+				out = append(out, i)
+			}
+		})
+		return out, true, nil
+	}
+	forEachSel(sel, n, func(i int) {
+		v := vec[i]
+		if v.IsNull() {
+			return
+		}
+		if cmpSatisfies(op, value.Compare(v, c)) {
+			out = append(out, i)
+		}
+	})
+	return out, true, nil
+}
+
+// selectBetweenFast is the typed kernel for col BETWEEN const AND const.
+func selectBetweenFast(b *Between, cols [][]value.Value, sel []int, n int) ([]int, bool, error) {
+	col, colOK := b.E.(*Column)
+	lo, loOK := b.Lo.(*Const)
+	hi, hiOK := b.Hi.(*Const)
+	if !colOK || !loOK || !hiOK {
+		return nil, false, nil
+	}
+	if col.Index < 0 || col.Index >= len(cols) {
+		return nil, true, fmt.Errorf("expr: column ordinal %d out of range (batch has %d columns)", col.Index, len(cols))
+	}
+	vec := cols[col.Index]
+	out := make([]int, 0, selLen(sel, n))
+	if lo.Val.IsNull() || hi.Val.IsNull() {
+		return out, true, nil
+	}
+	if intLike(lo.Val.Kind) && intLike(hi.Val.Kind) {
+		loI, hiI := lo.Val.I, hi.Val.I
+		forEachSel(sel, n, func(i int) {
+			v := vec[i]
+			if intLike(v.Kind) {
+				if v.I >= loI && v.I <= hiI {
+					out = append(out, i)
+				}
+				return
+			}
+			if v.Kind == value.KindNull {
+				return
+			}
+			if value.Compare(v, lo.Val) >= 0 && value.Compare(v, hi.Val) <= 0 {
+				out = append(out, i)
+			}
+		})
+		return out, true, nil
+	}
+	forEachSel(sel, n, func(i int) {
+		v := vec[i]
+		if v.IsNull() {
+			return
+		}
+		if value.Compare(v, lo.Val) >= 0 && value.Compare(v, hi.Val) <= 0 {
+			out = append(out, i)
+		}
+	})
+	return out, true, nil
+}

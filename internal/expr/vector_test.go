@@ -1,0 +1,181 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"oldelephant/internal/value"
+)
+
+// randomBatch builds a column-major batch with mixed kinds and some NULLs:
+// col0 int, col1 float, col2 string, col3 date, col4 int with nulls.
+func randomBatch(rng *rand.Rand, n int) [][]value.Value {
+	cols := make([][]value.Value, 5)
+	for c := range cols {
+		cols[c] = make([]value.Value, n)
+	}
+	for i := 0; i < n; i++ {
+		cols[0][i] = value.NewInt(int64(rng.Intn(100)))
+		cols[1][i] = value.NewFloat(float64(rng.Intn(1000)) / 10)
+		cols[2][i] = value.NewString(string(rune('a' + rng.Intn(5))))
+		cols[3][i] = value.NewDate(9000 + int64(rng.Intn(400)))
+		if rng.Intn(4) == 0 {
+			cols[4][i] = value.Null()
+		} else {
+			cols[4][i] = value.NewInt(int64(rng.Intn(50)))
+		}
+	}
+	return cols
+}
+
+func rowAt(cols [][]value.Value, i int) []value.Value {
+	row := make([]value.Value, len(cols))
+	for c := range cols {
+		row[c] = cols[c][i]
+	}
+	return row
+}
+
+// testExprs is the kernel coverage set: comparisons (both operand orders),
+// arithmetic, logicals, BETWEEN, IS NULL, IN and NOT.
+func testExprs() []Expr {
+	col := func(i int) Expr { return NewColumn(i, "") }
+	ci := func(v int64) Expr { return NewConst(value.NewInt(v)) }
+	return []Expr{
+		NewBinary(OpGt, col(0), ci(50)),
+		NewBinary(OpLt, ci(50), col(0)),
+		NewBinary(OpEq, col(2), NewConst(value.NewString("c"))),
+		NewBinary(OpNe, col(4), ci(10)),
+		NewBinary(OpGe, col(1), NewConst(value.NewFloat(42.5))),
+		NewBinary(OpLe, col(3), NewConst(value.NewDate(9200))),
+		NewBinary(OpAdd, col(0), col(4)),
+		NewBinary(OpMul, col(1), ci(3)),
+		NewBinary(OpSub, col(3), ci(7)),
+		NewBinary(OpDiv, col(1), col(4)),
+		NewBinary(OpAnd, NewBinary(OpGt, col(0), ci(20)), NewBinary(OpLt, col(0), ci(80))),
+		NewBinary(OpOr, NewBinary(OpLt, col(0), ci(10)), NewBinary(OpGt, col(4), ci(40))),
+		NewBinary(OpAnd, NewBinary(OpGt, col(4), ci(10)), NewBinary(OpEq, col(2), NewConst(value.NewString("b")))),
+		&Between{E: col(0), Lo: ci(25), Hi: ci(75)},
+		&Between{E: col(3), Lo: NewConst(value.NewDate(9100)), Hi: NewConst(value.NewDate(9300))},
+		&Between{E: col(0), Lo: ci(10), Hi: col(4)},
+		&IsNull{E: col(4)},
+		&IsNull{E: col(4), Negate: true},
+		&InList{E: col(0), List: []Expr{ci(1), ci(2), ci(3), ci(97)}},
+		&Not{E: NewBinary(OpGt, col(0), ci(50))},
+	}
+}
+
+// TestEvalVectorMatchesEval checks that every kernel computes exactly what
+// row-at-a-time Eval computes, over full batches and under selection vectors.
+func TestEvalVectorMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 500
+	cols := randomBatch(rng, n)
+	// A strided selection vector exercises the sel paths.
+	var sel []int
+	for i := 0; i < n; i += 3 {
+		sel = append(sel, i)
+	}
+	for _, e := range testExprs() {
+		for _, s := range [][]int{nil, sel} {
+			vec, err := EvalVector(e, cols, s, n)
+			if err != nil {
+				t.Fatalf("%s: EvalVector: %v", e, err)
+			}
+			forEachSel(s, n, func(i int) {
+				want, err := e.Eval(rowAt(cols, i))
+				if err != nil {
+					t.Fatalf("%s: Eval row %d: %v", e, i, err)
+				}
+				got := vec[i]
+				if got.Kind != want.Kind || value.Compare(got, want) != 0 {
+					t.Fatalf("%s: row %d: vector=%v (%v) row=%v (%v)", e, i, got, got.Kind, want, want.Kind)
+				}
+			})
+		}
+	}
+}
+
+// TestSelectVectorMatchesEvalBool checks that selection through the filter
+// kernels keeps exactly the rows EvalBool keeps.
+func TestSelectVectorMatchesEvalBool(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 500
+	cols := randomBatch(rng, n)
+	var sel []int
+	for i := 1; i < n; i += 2 {
+		sel = append(sel, i)
+	}
+	for _, e := range testExprs() {
+		for _, s := range [][]int{nil, sel} {
+			got, err := SelectVector(e, cols, s, n)
+			if err != nil {
+				t.Fatalf("%s: SelectVector: %v", e, err)
+			}
+			var want []int
+			forEachSel(s, n, func(i int) {
+				pass, err := EvalBool(e, rowAt(cols, i))
+				if err != nil {
+					t.Fatalf("%s: EvalBool row %d: %v", e, i, err)
+				}
+				if pass {
+					want = append(want, i)
+				}
+			})
+			if len(got) != len(want) {
+				t.Fatalf("%s: selected %d rows, want %d", e, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: selection[%d]=%d, want %d", e, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSelectVectorNilPredicate checks the pass-through contract.
+func TestSelectVectorNilPredicate(t *testing.T) {
+	cols := [][]value.Value{{value.NewInt(1), value.NewInt(2), value.NewInt(3)}}
+	all, err := SelectVector(nil, cols, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[0] != 0 || all[2] != 2 {
+		t.Fatalf("nil predicate over nil sel = %v, want [0 1 2]", all)
+	}
+	sel := []int{0, 2}
+	got, err := SelectVector(nil, cols, sel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("nil predicate over sel = %v, want [0 2]", got)
+	}
+}
+
+// TestSelectVectorNullConstant: comparisons against a NULL constant select
+// nothing, as in SQL.
+func TestSelectVectorNullConstant(t *testing.T) {
+	cols := [][]value.Value{{value.NewInt(1), value.NewInt(2)}}
+	pred := NewBinary(OpEq, NewColumn(0, "x"), NewConst(value.Null()))
+	got, err := SelectVector(pred, cols, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("x = NULL selected %v, want none", got)
+	}
+}
+
+// TestEvalVectorColumnOutOfRange: kernels surface binding errors rather than
+// panicking.
+func TestEvalVectorColumnOutOfRange(t *testing.T) {
+	cols := [][]value.Value{{value.NewInt(1)}}
+	if _, err := EvalVector(NewColumn(3, "bad"), cols, nil, 1); err == nil {
+		t.Fatal("expected out-of-range error from EvalVector")
+	}
+	if _, err := SelectVector(NewBinary(OpGt, NewColumn(3, "bad"), NewConst(value.NewInt(0))), cols, nil, 1); err == nil {
+		t.Fatal("expected out-of-range error from SelectVector")
+	}
+}

@@ -39,12 +39,25 @@ func EncodeTuple(dst []byte, row []Value) []byte {
 // DecodeTuple decodes a tuple previously produced by EncodeTuple. It returns
 // the decoded row and the number of bytes consumed.
 func DecodeTuple(src []byte) ([]Value, int, error) {
+	return DecodeTupleInto(nil, src)
+}
+
+// DecodeTupleInto is DecodeTuple decoding into buf when its capacity allows,
+// avoiding the per-row allocation on scan hot paths. The returned row aliases
+// buf in that case, so callers must copy values they retain past the next
+// call.
+func DecodeTupleInto(buf []Value, src []byte) ([]Value, int, error) {
 	n, sz := binary.Uvarint(src)
 	if sz <= 0 {
 		return nil, 0, fmt.Errorf("value: corrupt tuple header")
 	}
 	off := sz
-	row := make([]Value, n)
+	var row []Value
+	if uint64(cap(buf)) >= n {
+		row = buf[:n]
+	} else {
+		row = make([]Value, n)
+	}
 	for i := range row {
 		if off >= len(src) {
 			return nil, 0, fmt.Errorf("value: truncated tuple at field %d", i)
@@ -124,18 +137,24 @@ func encodeKeyValue(dst []byte, v Value) []byte {
 		return append(dst, 0x00, 0x00)
 	default:
 		dst = append(dst, keyTagNumber)
-		// Encode the numeric value as a sortable float64: flip the sign bit
-		// for non-negatives and complement for negatives.
-		bits := math.Float64bits(v.Float())
-		if bits>>63 == 0 {
-			bits |= 1 << 63
-		} else {
-			bits = ^bits
-		}
 		var buf [8]byte
-		binary.BigEndian.PutUint64(buf[:], bits)
+		binary.BigEndian.PutUint64(buf[:], NumericSortKey(v))
 		return append(dst, buf[:]...)
 	}
+}
+
+// NumericSortKey returns the order-preserving 64-bit key a numeric value
+// (INT, FLOAT, DATE, BOOL) contributes to EncodeKey: the sortable form of its
+// float64 value, with the sign bit flipped for non-negatives and the whole
+// word complemented for negatives. Two numeric values have equal sort keys
+// exactly when they encode identically, which lets hash operators group by
+// this word instead of the full encoded key.
+func NumericSortKey(v Value) uint64 {
+	bits := math.Float64bits(v.Float())
+	if bits>>63 == 0 {
+		return bits | 1<<63
+	}
+	return ^bits
 }
 
 // RowSize returns the number of bytes EncodeTuple would use for row, useful
