@@ -48,6 +48,11 @@ type Options struct {
 	Vectorized bool
 	// DisableVectorized forces row-at-a-time execution (see Vectorized).
 	DisableVectorized bool
+	// DisableCompressed keeps batch execution but forces flat (decompressed)
+	// vectors: scans stop emitting Const/RLE vectors for sort-prefix columns.
+	// Compressed execution is the default; the knob exists for differential
+	// testing and flat-vs-compressed comparisons.
+	DisableCompressed bool
 }
 
 // Open creates an empty database.
@@ -60,6 +65,7 @@ func Open(opts Options) *DB {
 		BufferPoolPages:   opts.BufferPoolPages,
 		Vectorized:        opts.Vectorized,
 		DisableVectorized: opts.DisableVectorized,
+		DisableCompressed: opts.DisableCompressed,
 	})
 	return &DB{Engine: e, views: matview.NewManager(e)}
 }

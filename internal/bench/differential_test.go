@@ -1,80 +1,201 @@
 package bench
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 
+	"oldelephant/internal/exec"
 	"oldelephant/internal/value"
 )
 
+// executorModes are the three executor configurations the differential tests
+// hold against each other: row-at-a-time Volcano, batch execution on flat
+// vectors, and batch execution on compressed (Const/RLE/Dict) vectors — the
+// default.
+func executorModes(t *testing.T) map[string]*Harness {
+	t.Helper()
+	build := func(mutate func(*Config)) *Harness {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		h, err := NewHarness(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	modes := map[string]*Harness{
+		"row":               build(func(c *Config) { c.DisableVectorized = true }),
+		"flat-vector":       build(func(c *Config) { c.DisableCompressed = true }),
+		"compressed-vector": build(func(c *Config) {}),
+	}
+	// Pin the knob contract so a misconfigured harness cannot silently turn
+	// the three axes into one.
+	if modes["row"].Engine.Vectorized() || modes["row"].Engine.Compressed() {
+		t.Fatal("row harness engine is vectorized or compressed")
+	}
+	if !modes["flat-vector"].Engine.Vectorized() || modes["flat-vector"].Engine.Compressed() {
+		t.Fatal("flat-vector harness engine has the wrong knobs")
+	}
+	if !modes["compressed-vector"].Engine.Vectorized() || !modes["compressed-vector"].Engine.Compressed() {
+		t.Fatal("compressed-vector harness engine has the wrong knobs")
+	}
+	return modes
+}
+
 // TestVectorizedRowDifferential is the result-identity proof for the
-// vectorized executor: every workload query (Q1-Q7), under every row-engine
-// strategy (Row, Row(MV), Row(Col)) and every swept selectivity, must return
-// exactly the same rows — same values, same order — from the batch-at-a-time
-// engine as from the row-at-a-time Volcano engine.
+// vectorized executor across all three executor modes: every workload query
+// (Q1-Q7), under every row-engine strategy (Row, Row(MV), Row(Col)) and
+// every swept selectivity, must return exactly the same rows — same values,
+// same order — from the row engine, the flat-vector engine and the
+// compressed-vector engine.
 func TestVectorizedRowDifferential(t *testing.T) {
-	cfg := DefaultConfig()
-	vec, err := NewHarness(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !vec.Engine.Vectorized() {
-		t.Fatal("default harness engine is not vectorized")
-	}
-	rowCfg := cfg
-	rowCfg.DisableVectorized = true
-	row, err := NewHarness(rowCfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if row.Engine.Vectorized() {
-		t.Fatal("DisableVectorized harness engine is vectorized")
-	}
+	modes := executorModes(t)
+	ref := modes["row"]
+	others := []string{"flat-vector", "compressed-vector"}
 
 	strategies := []Strategy{StrategyRow, StrategyRowMV, StrategyRowCol}
 	compared := 0
 	for _, q := range Queries() {
-		spec := vec.specs()[q]
-		sels := cfg.Selectivities
+		spec := ref.specs()[q]
+		sels := ref.Config.Selectivities
 		if !spec.swept {
 			sels = []float64{0}
 		}
 		for _, sel := range sels {
-			// Both harnesses hold identical deterministic TPC-H data, so the
+			// All harnesses hold identical deterministic TPC-H data, so the
 			// parameterized SQL resolves identically; assert that too.
-			vecSQL, _, _ := spec.sqlFor(vec, sel)
-			rowSQL, _, _ := spec.sqlFor(row, sel)
-			if vecSQL != rowSQL {
-				t.Fatalf("%s sel=%v: harnesses produced different SQL:\n%s\n%s", q, sel, vecSQL, rowSQL)
+			_, refSQL, _, _ := spec.resolve(ref, sel)
+			for _, name := range others {
+				_, otherSQL, _, _ := modes[name].specs()[q].resolve(modes[name], sel)
+				if refSQL != otherSQL {
+					t.Fatalf("%s sel=%v: %s harness produced different SQL:\n%s\n%s", q, sel, name, refSQL, otherSQL)
+				}
 			}
 			for _, s := range strategies {
-				sqlText, err := vec.strategySQL(q, spec, s, vecSQL)
+				sqlText, err := ref.strategySQL(q, spec, s, refSQL)
 				if err != nil {
 					t.Fatalf("%s %s: %v", q, s, err)
 				}
-				vres, err := vec.Engine.Query(sqlText)
-				if err != nil {
-					t.Fatalf("%s %s vectorized: %v\nSQL: %s", q, s, err, sqlText)
-				}
-				rres, err := row.Engine.Query(sqlText)
+				rres, err := ref.Engine.Query(sqlText)
 				if err != nil {
 					t.Fatalf("%s %s row: %v\nSQL: %s", q, s, err, sqlText)
 				}
-				if vres.Plan != rres.Plan {
-					t.Errorf("%s %s sel=%v: plans differ:\n%s\n%s", q, s, sel, vres.Plan, rres.Plan)
+				for _, name := range others {
+					vres, err := modes[name].Engine.Query(sqlText)
+					if err != nil {
+						t.Fatalf("%s %s %s: %v\nSQL: %s", q, s, name, err, sqlText)
+					}
+					if vres.Plan != rres.Plan {
+						t.Errorf("%s %s sel=%v: %s plan differs:\n%s\n%s", q, s, sel, name, vres.Plan, rres.Plan)
+					}
+					if got, want := formatRows(vres.Rows), formatRows(rres.Rows); got != want {
+						t.Errorf("%s %s sel=%v: %s results differ\n%s (%d rows):\n%s\nrow (%d rows):\n%s",
+							q, s, sel, name, name, len(vres.Rows), clip(got), len(rres.Rows), clip(want))
+					}
+					compared++
 				}
-				if got, want := formatRows(vres.Rows), formatRows(rres.Rows); got != want {
-					t.Errorf("%s %s sel=%v: results differ\nvectorized (%d rows):\n%s\nrow (%d rows):\n%s",
-						q, s, sel, len(vres.Rows), clip(got), len(rres.Rows), clip(want))
-				}
-				compared++
 			}
 		}
 	}
-	if compared < 3*7 {
-		t.Fatalf("only %d (query, strategy, selectivity) points compared", compared)
+	if compared < 2*3*7 {
+		t.Fatalf("only %d (query, strategy, selectivity, mode) points compared", compared)
 	}
-	t.Logf("compared %d (query, strategy, selectivity) points", compared)
+	t.Logf("compared %d (query, strategy, selectivity, mode) points", compared)
+}
+
+// TestColOptExecutorDifferential proves the acceptance property for ColOpt:
+// the plan running on compressed vectors through the shared BatchOperator
+// protocol returns the same result as the row engine's base-table query, for
+// every workload query and selectivity — and the same rows again with
+// compressed execution force-disabled (flat vectors, identical operator
+// tree). Floating-point aggregates are compared with a relative tolerance:
+// the projection processes rows in sort order, the row engine in base-table
+// order, and float addition is not associative.
+func TestColOptExecutorDifferential(t *testing.T) {
+	modes := executorModes(t)
+	ref := modes["compressed-vector"]
+	flat := modes["flat-vector"]
+	// The oracle is the row-at-a-time engine: it shares none of the
+	// compressed kernels under test, so a bug in run folding or run-wise
+	// selection cannot cancel out on both sides of the comparison.
+	row := modes["row"]
+	compared := 0
+	for _, q := range Queries() {
+		spec := ref.specs()[q]
+		sels := ref.Config.Selectivities
+		if !spec.swept {
+			sels = []float64{0}
+		}
+		for _, sel := range sels {
+			_, query, _, _ := spec.resolve(ref, sel)
+			rowRes, err := row.Engine.Query(query)
+			if err != nil {
+				t.Fatalf("%s: row query: %v", q, err)
+			}
+			op, err := ref.ColOptOperator(q, sel)
+			if err != nil {
+				t.Fatalf("%s: ColOpt plan: %v", q, err)
+			}
+			colRows, err := exec.DrainBatches(op)
+			if err != nil {
+				t.Fatalf("%s: ColOpt execution: %v", q, err)
+			}
+			if msg := rowsApproxEqual(colRows, rowRes.Rows); msg != "" {
+				t.Errorf("%s sel=%v: ColOpt result differs from row engine: %s", q, sel, msg)
+			}
+			// Flat-vector ColOpt processes the identical operator tree in the
+			// identical order; only float sums may differ in the last bits
+			// (the compressed path folds an RLE run as value*count where the
+			// flat path adds per row), so compare with the same tolerance.
+			flatOp, err := flat.ColOptOperator(q, sel)
+			if err != nil {
+				t.Fatalf("%s: flat ColOpt plan: %v", q, err)
+			}
+			flatRows, err := exec.DrainBatches(flatOp)
+			if err != nil {
+				t.Fatalf("%s: flat ColOpt execution: %v", q, err)
+			}
+			if msg := rowsApproxEqual(colRows, flatRows); msg != "" {
+				t.Errorf("%s sel=%v: compressed and flat ColOpt differ: %s", q, sel, msg)
+			}
+			compared++
+		}
+	}
+	if compared < 7 {
+		t.Fatalf("only %d (query, selectivity) ColOpt points compared", compared)
+	}
+	t.Logf("compared %d (query, selectivity) ColOpt points", compared)
+}
+
+// rowsApproxEqual compares result sets exactly except for float values,
+// which compare with a relative tolerance. It returns "" on match and a
+// description of the first mismatch otherwise.
+func rowsApproxEqual(got, want []exec.Row) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("row counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			return fmt.Sprintf("row %d arity differs", i)
+		}
+		for j := range got[i] {
+			g, w := got[i][j], want[i][j]
+			if g.Kind == value.KindFloat && w.Kind == value.KindFloat {
+				diff := math.Abs(g.F - w.F)
+				scale := math.Max(math.Abs(g.F), math.Abs(w.F))
+				if diff > 1e-9*math.Max(scale, 1) {
+					return fmt.Sprintf("row %d col %d: %v vs %v", i, j, g, w)
+				}
+				continue
+			}
+			if g.Kind != w.Kind || value.Compare(g, w) != 0 {
+				return fmt.Sprintf("row %d col %d: %v (%v) vs %v (%v)", i, j, g, g.Kind, w, w.Kind)
+			}
+		}
+	}
+	return ""
 }
 
 // formatRows renders rows (values and order) for exact comparison.

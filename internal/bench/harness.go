@@ -78,6 +78,11 @@ type Config struct {
 	// batch-at-a-time executor; used for differential testing and the
 	// row-vs-batch microbenchmarks.
 	DisableVectorized bool
+	// DisableCompressed keeps the batch executor but forces flat
+	// (decompressed) vectors everywhere: engine scans stop emitting Const/RLE
+	// vectors and the ColOpt projection scan decompresses its segments. Used
+	// for differential testing and the flat-vs-compressed microbenchmarks.
+	DisableCompressed bool
 }
 
 // DefaultConfig returns the configuration used by the checked-in benchmarks.
@@ -120,7 +125,11 @@ func NewHarness(cfg Config) (*Harness, error) {
 	if cfg.SF <= 0 {
 		cfg.SF = DefaultConfig().SF
 	}
-	e := engine.New(engine.Options{TupleOverhead: cfg.TupleOverhead, DisableVectorized: cfg.DisableVectorized})
+	e := engine.New(engine.Options{
+		TupleOverhead:     cfg.TupleOverhead,
+		DisableVectorized: cfg.DisableVectorized,
+		DisableCompressed: cfg.DisableCompressed,
+	})
 	gen := tpch.NewGenerator(cfg.SF)
 	if err := gen.LoadCore(e); err != nil {
 		return nil, err

@@ -5,7 +5,10 @@ import (
 	"strings"
 	"time"
 
+	"oldelephant/internal/colstore"
 	"oldelephant/internal/core/rewrite"
+	"oldelephant/internal/exec"
+	"oldelephant/internal/expr"
 	"oldelephant/internal/storage"
 	"oldelephant/internal/value"
 )
@@ -27,17 +30,42 @@ const (
 // Queries lists the workload in order.
 func Queries() []QueryID { return []QueryID{Q1, Q2, Q3, Q4, Q5, Q6, Q7} }
 
+// colOptPlan describes the executor plan that answers a workload query
+// directly on the compressed projection: filter one column against the
+// query parameter, group by one column, compute one aggregate.
+type colOptPlan struct {
+	filterCol string
+	filterEq  bool // equality filter; false means strictly-greater
+	groupCol  string
+	agg       exec.AggKind
+	aggArg    string // aggregate argument column; "" for COUNT(*)
+}
+
 // querySpec describes one workload query: how to build its SQL for a given
 // parameter, which c-table design and column projection answer it, which
-// columns a C-store plan must read, and whether the query is swept over
-// selectivities (Figure 2) or has a fixed parameter.
+// columns a C-store plan must read, the ColOpt executor plan, and whether
+// the query is swept over selectivities (Figure 2) or has a fixed parameter.
 type querySpec struct {
 	id          QueryID
 	description string
 	design      string // D1, D2 or D4
 	colOptCols  []string
 	swept       bool
-	sqlFor      func(h *Harness, sel float64) (query string, param string, colFraction float64)
+	colOpt      colOptPlan
+	// paramFor resolves the query parameter for a target selectivity — the
+	// single source of truth shared by the SQL strategies and the ColOpt
+	// executor plan.
+	paramFor func(h *Harness, sel float64) value.Value
+	// sqlFor renders the query and its projection fraction for a parameter
+	// already resolved by paramFor.
+	sqlFor func(h *Harness, d value.Value) (query string, param string, colFraction float64)
+}
+
+// resolve computes the spec's parameter once and renders the SQL for it.
+func (s querySpec) resolve(h *Harness, sel float64) (d value.Value, query, param string, frac float64) {
+	d = s.paramFor(h, sel)
+	query, param, frac = s.sqlFor(h, d)
+	return d, query, param, frac
 }
 
 func (h *Harness) specs() map[QueryID]querySpec {
@@ -45,8 +73,11 @@ func (h *Harness) specs() map[QueryID]querySpec {
 		Q1: {
 			id: Q1, description: "count of items shipped each day after D",
 			design: "D1", colOptCols: []string{"l_shipdate"}, swept: true,
-			sqlFor: func(h *Harness, sel float64) (string, string, float64) {
-				d := paramDate(h.dateMin, h.dateMax, sel)
+			colOpt: colOptPlan{filterCol: "l_shipdate", groupCol: "l_shipdate", agg: exec.AggCountStar},
+			paramFor: func(h *Harness, sel float64) value.Value {
+				return paramDate(h.dateMin, h.dateMax, sel)
+			},
+			sqlFor: func(h *Harness, d value.Value) (string, string, float64) {
 				q := fmt.Sprintf("SELECT l_shipdate, COUNT(*) FROM lineitem WHERE l_shipdate > DATE '%s' GROUP BY l_shipdate", d)
 				return q, d.String(), h.fraction("D1", d)
 			},
@@ -54,8 +85,11 @@ func (h *Harness) specs() map[QueryID]querySpec {
 		Q2: {
 			id: Q2, description: "count of items shipped for each supplier on day D",
 			design: "D1", colOptCols: []string{"l_shipdate", "l_suppkey"}, swept: false,
-			sqlFor: func(h *Harness, _ float64) (string, string, float64) {
-				d := h.existingDate("lineitem", "l_shipdate", midDate(h.dateMin, h.dateMax))
+			colOpt: colOptPlan{filterCol: "l_shipdate", filterEq: true, groupCol: "l_suppkey", agg: exec.AggCountStar},
+			paramFor: func(h *Harness, _ float64) value.Value {
+				return h.existingDate("lineitem", "l_shipdate", midDate(h.dateMin, h.dateMax))
+			},
+			sqlFor: func(h *Harness, d value.Value) (string, string, float64) {
 				q := fmt.Sprintf("SELECT l_suppkey, COUNT(*) FROM lineitem WHERE l_shipdate = DATE '%s' GROUP BY l_suppkey", d)
 				return q, d.String(), h.eqFraction("D1", d)
 			},
@@ -63,8 +97,11 @@ func (h *Harness) specs() map[QueryID]querySpec {
 		Q3: {
 			id: Q3, description: "count of items shipped for each supplier after day D",
 			design: "D1", colOptCols: []string{"l_shipdate", "l_suppkey"}, swept: true,
-			sqlFor: func(h *Harness, sel float64) (string, string, float64) {
-				d := paramDate(h.dateMin, h.dateMax, sel)
+			colOpt: colOptPlan{filterCol: "l_shipdate", groupCol: "l_suppkey", agg: exec.AggCountStar},
+			paramFor: func(h *Harness, sel float64) value.Value {
+				return paramDate(h.dateMin, h.dateMax, sel)
+			},
+			sqlFor: func(h *Harness, d value.Value) (string, string, float64) {
 				q := fmt.Sprintf("SELECT l_suppkey, COUNT(*) FROM lineitem WHERE l_shipdate > DATE '%s' GROUP BY l_suppkey", d)
 				return q, d.String(), h.fraction("D1", d)
 			},
@@ -72,8 +109,11 @@ func (h *Harness) specs() map[QueryID]querySpec {
 		Q4: {
 			id: Q4, description: "latest shipdate of items ordered after each day D",
 			design: "D2", colOptCols: []string{"o_orderdate", "l_shipdate"}, swept: true,
-			sqlFor: func(h *Harness, sel float64) (string, string, float64) {
-				d := paramDate(h.orderDateMin, h.orderDateMax, sel)
+			colOpt: colOptPlan{filterCol: "o_orderdate", groupCol: "o_orderdate", agg: exec.AggMax, aggArg: "l_shipdate"},
+			paramFor: func(h *Harness, sel float64) value.Value {
+				return paramDate(h.orderDateMin, h.orderDateMax, sel)
+			},
+			sqlFor: func(h *Harness, d value.Value) (string, string, float64) {
 				q := fmt.Sprintf("SELECT o_orderdate, MAX(l_shipdate) FROM lineitem, orders WHERE l_orderkey = o_orderkey AND o_orderdate > DATE '%s' GROUP BY o_orderdate", d)
 				return q, d.String(), h.fraction("D2", d)
 			},
@@ -81,8 +121,11 @@ func (h *Harness) specs() map[QueryID]querySpec {
 		Q5: {
 			id: Q5, description: "latest shipdate per supplier for orders made on day D",
 			design: "D2", colOptCols: []string{"o_orderdate", "l_suppkey", "l_shipdate"}, swept: false,
-			sqlFor: func(h *Harness, _ float64) (string, string, float64) {
-				d := h.existingDate("orders", "o_orderdate", midDate(h.orderDateMin, h.orderDateMax))
+			colOpt: colOptPlan{filterCol: "o_orderdate", filterEq: true, groupCol: "l_suppkey", agg: exec.AggMax, aggArg: "l_shipdate"},
+			paramFor: func(h *Harness, _ float64) value.Value {
+				return h.existingDate("orders", "o_orderdate", midDate(h.orderDateMin, h.orderDateMax))
+			},
+			sqlFor: func(h *Harness, d value.Value) (string, string, float64) {
 				q := fmt.Sprintf("SELECT l_suppkey, MAX(l_shipdate) FROM lineitem, orders WHERE l_orderkey = o_orderkey AND o_orderdate = DATE '%s' GROUP BY l_suppkey", d)
 				return q, d.String(), h.eqFraction("D2", d)
 			},
@@ -90,8 +133,11 @@ func (h *Harness) specs() map[QueryID]querySpec {
 		Q6: {
 			id: Q6, description: "latest shipdate per supplier for orders made after day D",
 			design: "D2", colOptCols: []string{"o_orderdate", "l_suppkey", "l_shipdate"}, swept: true,
-			sqlFor: func(h *Harness, sel float64) (string, string, float64) {
-				d := paramDate(h.orderDateMin, h.orderDateMax, sel)
+			colOpt: colOptPlan{filterCol: "o_orderdate", groupCol: "l_suppkey", agg: exec.AggMax, aggArg: "l_shipdate"},
+			paramFor: func(h *Harness, sel float64) value.Value {
+				return paramDate(h.orderDateMin, h.orderDateMax, sel)
+			},
+			sqlFor: func(h *Harness, d value.Value) (string, string, float64) {
 				q := fmt.Sprintf("SELECT l_suppkey, MAX(l_shipdate) FROM lineitem, orders WHERE l_orderkey = o_orderkey AND o_orderdate > DATE '%s' GROUP BY l_suppkey", d)
 				return q, d.String(), h.fraction("D2", d)
 			},
@@ -99,14 +145,71 @@ func (h *Harness) specs() map[QueryID]querySpec {
 		Q7: {
 			id: Q7, description: "lost revenue per nation for returned parts",
 			design: "D4", colOptCols: []string{"l_returnflag", "c_nationkey", "l_extendedprice"}, swept: false,
-			sqlFor: func(h *Harness, _ float64) (string, string, float64) {
-				q := "SELECT c_nationkey, SUM(l_extendedprice) FROM lineitem, orders, customer " +
-					"WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey AND l_returnflag = 'R' GROUP BY c_nationkey"
-				frac, _ := h.Proj["D4"].LeadingRangeFraction(value.NewString("R"), value.NewString("R"), true, true)
-				return q, "R", frac
+			colOpt: colOptPlan{filterCol: "l_returnflag", filterEq: true, groupCol: "c_nationkey", agg: exec.AggSum, aggArg: "l_extendedprice"},
+			paramFor: func(h *Harness, _ float64) value.Value {
+				return value.NewString("R")
+			},
+			sqlFor: func(h *Harness, d value.Value) (string, string, float64) {
+				q := fmt.Sprintf("SELECT c_nationkey, SUM(l_extendedprice) FROM lineitem, orders, customer "+
+					"WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey AND l_returnflag = '%s' GROUP BY c_nationkey", d.S)
+				frac, _ := h.Proj["D4"].LeadingRangeFraction(d, d, true, true)
+				return q, d.String(), frac
 			},
 		},
 	}
+}
+
+// colIndexIn returns the position of col in cols, or -1.
+func colIndexIn(cols []string, col string) int {
+	for i, c := range cols {
+		if strings.EqualFold(c, col) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColOptOperator builds the executor plan that answers a workload query
+// directly on the compressed projection: ProjectionScan → Filter →
+// HashAggregate, all through the shared BatchOperator protocol on compressed
+// vectors (Flat vectors when the harness's DisableCompressed knob is set).
+// This replaces the bespoke colstore execution path on the query hot path:
+// ColOpt is now just another executor configuration.
+func (h *Harness) ColOptOperator(q QueryID, selectivity float64) (exec.BatchOperator, error) {
+	spec, ok := h.specs()[q]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown query %q", q)
+	}
+	return h.colOptOperator(spec, spec.paramFor(h, selectivity))
+}
+
+// colOptOperator builds the ColOpt plan for an already-resolved parameter.
+func (h *Harness) colOptOperator(spec querySpec, param value.Value) (exec.BatchOperator, error) {
+	scan, err := colstore.NewProjectionScan(h.Proj[spec.design], spec.colOptCols, h.Config.DisableCompressed)
+	if err != nil {
+		return nil, err
+	}
+	cp := spec.colOpt
+	fIdx := colIndexIn(spec.colOptCols, cp.filterCol)
+	gIdx := colIndexIn(spec.colOptCols, cp.groupCol)
+	if fIdx < 0 || gIdx < 0 {
+		return nil, fmt.Errorf("bench: %s ColOpt plan references columns outside the projection scan", spec.id)
+	}
+	op := expr.OpGt
+	if cp.filterEq {
+		op = expr.OpEq
+	}
+	pred := expr.NewBinary(op, expr.NewColumn(fIdx, cp.filterCol), expr.NewConst(param))
+	filtered := exec.NewFilter(scan, pred)
+	agg := exec.AggSpec{Kind: cp.agg, Name: cp.agg.String()}
+	if cp.aggArg != "" {
+		aIdx := colIndexIn(spec.colOptCols, cp.aggArg)
+		if aIdx < 0 {
+			return nil, fmt.Errorf("bench: %s ColOpt aggregate argument %q outside the projection scan", spec.id, cp.aggArg)
+		}
+		agg.Arg = expr.NewColumn(aIdx, cp.aggArg)
+	}
+	return exec.NewHashAggregate(filtered, []int{gIdx}, []exec.AggSpec{agg}), nil
 }
 
 // fraction computes the fraction of a projection's rows whose leading sort
@@ -185,7 +288,7 @@ func (h *Harness) Run(q QueryID, strategy Strategy, selectivity float64) (Measur
 	if !ok {
 		return Measurement{}, fmt.Errorf("bench: unknown query %q", q)
 	}
-	query, param, frac := spec.sqlFor(h, selectivity)
+	d, query, param, frac := spec.resolve(h, selectivity)
 	m := Measurement{Query: q, Strategy: strategy, Selectivity: selectivity, Param: param, Matched: true}
 
 	if strategy == StrategyColOpt {
@@ -203,7 +306,31 @@ func (h *Harness) Run(q QueryID, strategy Strategy, selectivity float64) (Measur
 		m.IO = storage.IOStats{PageReads: pages, SeqReads: pages - cols, RandReads: cols}
 		m.ModeledDisk = h.Config.Disk.Time(m.IO)
 		m.Total = m.ModeledDisk
-		m.Plan = fmt.Sprintf("ColOpt(read %s of %s, fraction %.4f)", strings.Join(spec.colOptCols, ","), spec.design, frac)
+		// Execute the plan through the shared batch executor on compressed
+		// vectors. The modeled disk time stays the comparison metric (the
+		// projections live in memory, so the scan performs no pager I/O), but
+		// the execution yields real rows — the differential tests hold them
+		// against the row engine — and a real CPU wall time.
+		op, err := h.colOptOperator(spec, d)
+		if err != nil {
+			return Measurement{}, err
+		}
+		start := time.Now()
+		rows, err := exec.DrainBatches(op)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("bench: %s under %s: %w", q, strategy, err)
+		}
+		m.Wall = time.Since(start)
+		m.Rows = len(rows)
+		if secs := m.Wall.Seconds(); secs > 0 {
+			m.RowsPerSec = float64(m.Rows) / secs
+		}
+		mode := "compressed vectors"
+		if h.Config.DisableCompressed {
+			mode = "flat vectors"
+		}
+		m.Plan = fmt.Sprintf("ColOpt(scan %s of %s, fraction %.4f, %s)",
+			strings.Join(spec.colOptCols, ","), spec.design, frac, mode)
 		return m, nil
 	}
 

@@ -4,7 +4,10 @@ import (
 	"sync"
 	"testing"
 
+	"oldelephant/internal/colstore"
 	"oldelephant/internal/engine"
+	"oldelephant/internal/exec"
+	"oldelephant/internal/expr"
 	"oldelephant/internal/value"
 )
 
@@ -105,6 +108,105 @@ func BenchmarkGroupAggRow(b *testing.B) {
 func BenchmarkGroupAggVectorized(b *testing.B) {
 	vec, _ := benchEngines(b)
 	runQueryBench(b, vec, groupAggSQL)
+}
+
+// The flat-vs-compressed executor microbenchmarks: the same
+// scan-filter-aggregate plan over the same compressed projection, once on
+// compressed (Const/RLE/Dict) vectors and once with every vector
+// decompressed at the scan. The projection is RLE-friendly the way the
+// paper's D1 is: sorted by (ship, supp), with qty constant within each
+// (ship, supp) group so its runs align with the group column's.
+//
+//	go test ./internal/bench -bench 'ScanFilterAgg'
+
+var (
+	projOnce sync.Once
+	projData *colstore.Projection
+	projErr  error
+)
+
+func benchProjectionData(tb testing.TB) *colstore.Projection {
+	tb.Helper()
+	projOnce.Do(func() {
+		base := value.MustParseDate("1995-01-01").Int()
+		rows := make([][]value.Value, benchRows)
+		for i := range rows {
+			day := i % 100
+			supp := (i / 100) % 50
+			rows[i] = []value.Value{
+				value.NewDate(base + int64(day)),
+				value.NewInt(int64(supp)),
+				value.NewInt(int64((day*7 + supp) % 13)),
+			}
+		}
+		projData, projErr = colstore.BuildProjection("bench",
+			[]string{"ship", "supp", "qty"},
+			[]value.Kind{value.KindDate, value.KindInt, value.KindInt},
+			[]string{"ship", "supp"}, rows)
+	})
+	if projErr != nil {
+		tb.Fatal(projErr)
+	}
+	return projData
+}
+
+// benchColOptPlan builds scan → filter(ship > median) → group supp,
+// COUNT(*), SUM(qty) over the benchmark projection.
+func benchColOptPlan(tb testing.TB, flat bool) exec.BatchOperator {
+	tb.Helper()
+	p := benchProjectionData(tb)
+	scan, err := colstore.NewProjectionScan(p, []string{"ship", "supp", "qty"}, flat)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mid := value.NewDate(value.MustParseDate("1995-01-01").Int() + 39) // ~60% of rows pass
+	pred := expr.NewBinary(expr.OpGt, expr.NewColumn(0, "ship"), expr.NewConst(mid))
+	filtered := exec.NewFilter(scan, pred)
+	return exec.NewHashAggregate(filtered, []int{1}, []exec.AggSpec{
+		{Kind: exec.AggCountStar, Name: "cnt"},
+		{Kind: exec.AggSum, Arg: expr.NewColumn(2, "qty"), Name: "sumqty"},
+	})
+}
+
+func runColOptBench(b *testing.B, flat bool) {
+	b.Helper()
+	rowsOut := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exec.DrainBatches(benchColOptPlan(b, flat))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rowsOut = len(rows)
+	}
+	b.StopTimer()
+	if rowsOut == 0 {
+		b.Fatal("benchmark plan returned no rows")
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkScanFilterAggCompressed(b *testing.B) { runColOptBench(b, false) }
+
+func BenchmarkScanFilterAggFlatVectors(b *testing.B) { runColOptBench(b, true) }
+
+// TestCompressedFlatPlansAgree keeps the flat-vs-compressed benchmark honest:
+// the two vector modes must return identical results for the benchmarked plan.
+func TestCompressedFlatPlansAgree(t *testing.T) {
+	compressed, err := exec.DrainBatches(benchColOptPlan(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := exec.DrainBatches(benchColOptPlan(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compressed) == 0 {
+		t.Fatal("benchmark plan returned no rows")
+	}
+	if got, want := formatRows(compressed), formatRows(flat); got != want {
+		t.Fatalf("benchmark plan diverges between vector modes:\n%s\nvs\n%s", clip(got), clip(want))
+	}
 }
 
 // TestBenchQueriesAgree keeps the benchmark honest: both executor modes must

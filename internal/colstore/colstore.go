@@ -58,13 +58,60 @@ type ColumnSegment struct {
 	Encoding Encoding
 	NumRows  int64
 	// CompressedBytes is the size of the compressed representation; the page
-	// count derives from it.
+	// count derives from it. For dictionary segments it counts the dictionary
+	// plus the bit-packed code array, matching the stored form.
 	CompressedBytes int64
 
 	runs []Run         // EncodingRLE
 	dict []value.Value // EncodingDict
-	code []uint32      // EncodingDict: one code per row
-	raw  []value.Value // EncodingRaw
+	// packed holds the dictionary codes bit-packed codeBits per code in
+	// little-endian bit order, possibly straddling word boundaries.
+	packed   []uint64
+	codeBits uint          // EncodingDict: bits per packed code
+	raw      []value.Value // EncodingRaw
+}
+
+// CodeBits returns the bits per bit-packed dictionary code (0 for non-dict
+// segments).
+func (s *ColumnSegment) CodeBits() uint { return s.codeBits }
+
+// DictSize returns the number of dictionary entries (0 for non-dict segments).
+func (s *ColumnSegment) DictSize() int { return len(s.dict) }
+
+// codeAt unpacks the dictionary code of 0-based row pos0.
+func (s *ColumnSegment) codeAt(pos0 int64) uint32 {
+	bitPos := uint64(pos0) * uint64(s.codeBits)
+	word, off := bitPos>>6, bitPos&63
+	v := s.packed[word] >> off
+	if off+uint64(s.codeBits) > 64 {
+		v |= s.packed[word+1] << (64 - off)
+	}
+	return uint32(v & (1<<s.codeBits - 1))
+}
+
+// unpackCodes unpacks the codes of 0-based rows [start, end) into a fresh
+// slice. It is how the batch scan materializes a window of a dictionary
+// segment without touching the rest.
+func (s *ColumnSegment) unpackCodes(start, end int64) []uint32 {
+	out := make([]uint32, end-start)
+	for i := range out {
+		out[i] = s.codeAt(start + int64(i))
+	}
+	return out
+}
+
+// packCodes bit-packs codes at bits per code.
+func packCodes(codes []uint32, bits uint) []uint64 {
+	packed := make([]uint64, (uint64(len(codes))*uint64(bits)+63)/64+1)
+	for i, c := range codes {
+		bitPos := uint64(i) * uint64(bits)
+		word, off := bitPos>>6, bitPos&63
+		packed[word] |= uint64(c) << off
+		if off+uint64(bits) > 64 {
+			packed[word+1] |= uint64(c) >> (64 - off)
+		}
+	}
+	return packed
 }
 
 // Pages returns the number of storage pages the compressed segment occupies.
@@ -79,20 +126,26 @@ func (s *ColumnSegment) Pages() int64 {
 // Runs returns the RLE runs (nil for non-RLE segments).
 func (s *ColumnSegment) Runs() []Run { return s.runs }
 
+// runIndexAt returns the index of the run covering 1-based position pos (or
+// len(runs) when pos lies past the last run).
+func runIndexAt(runs []Run, pos int64) int {
+	return sort.Search(len(runs), func(i int) bool { return runs[i].First+runs[i].Count-1 >= pos })
+}
+
 // Value returns the value at 1-based position pos.
 func (s *ColumnSegment) Value(pos int64) value.Value {
 	switch s.Encoding {
 	case EncodingRLE:
-		i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].First+s.runs[i].Count-1 >= pos })
+		i := runIndexAt(s.runs, pos)
 		if i < len(s.runs) && pos >= s.runs[i].First {
 			return s.runs[i].Value
 		}
 		return value.Null()
 	case EncodingDict:
-		if pos < 1 || pos > int64(len(s.code)) {
+		if pos < 1 || pos > s.NumRows {
 			return value.Null()
 		}
-		return s.dict[s.code[pos-1]]
+		return s.dict[s.codeAt(pos-1)]
 	default:
 		if pos < 1 || pos > int64(len(s.raw)) {
 			return value.Null()
@@ -238,7 +291,8 @@ func buildSegment(name string, kind value.Kind, sorted [][]value.Value, ord int)
 			codes[i] = code
 		}
 		seg.dict = dictVals
-		seg.code = codes
+		seg.codeBits = uint(bits)
+		seg.packed = packCodes(codes, seg.codeBits)
 	case EncodingRaw:
 		vals := make([]value.Value, n)
 		for i := int64(0); i < n; i++ {

@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"oldelephant/internal/exec"
 	"oldelephant/internal/value"
+	"oldelephant/internal/vector"
 )
 
 // buildD1Like builds a projection shaped like the paper's D1:
@@ -262,6 +264,263 @@ func TestSelectRangeAndGroupAggregate(t *testing.T) {
 	}
 	if _, err := p.GroupAggregate(allRange, "d", AggSum, "missing"); err == nil {
 		t.Error("missing aggregate column should fail")
+	}
+}
+
+// forceSegments builds one segment per encoding over the same values, so
+// tests can compare the encodings' behavior directly (buildSegment normally
+// picks exactly one).
+func forceSegments(vals []value.Value, kind value.Kind) map[Encoding]*ColumnSegment {
+	n := int64(len(vals))
+	// RLE.
+	var runs []Run
+	for i, v := range vals {
+		if len(runs) > 0 && value.Compare(runs[len(runs)-1].Value, v) == 0 {
+			runs[len(runs)-1].Count++
+			continue
+		}
+		runs = append(runs, Run{First: int64(i + 1), Value: v, Count: 1})
+	}
+	rle := &ColumnSegment{Name: "x", Kind: kind, Encoding: EncodingRLE, NumRows: n, runs: runs}
+	// Dict with bit-packed codes.
+	var dict []value.Value
+	codes := make([]uint32, n)
+	index := map[string]uint32{}
+	for i, v := range vals {
+		c, ok := index[v.String()]
+		if !ok {
+			c = uint32(len(dict))
+			index[v.String()] = c
+			dict = append(dict, v)
+		}
+		codes[i] = c
+	}
+	bits := uint(1)
+	for (1 << bits) < len(dict) {
+		bits++
+	}
+	dictSeg := &ColumnSegment{Name: "x", Kind: kind, Encoding: EncodingDict, NumRows: n,
+		dict: dict, codeBits: bits, packed: packCodes(codes, bits)}
+	// Raw.
+	raw := &ColumnSegment{Name: "x", Kind: kind, Encoding: EncodingRaw, NumRows: n,
+		raw: append([]value.Value(nil), vals...)}
+	return map[Encoding]*ColumnSegment{EncodingRLE: rle, EncodingDict: dictSeg, EncodingRaw: raw}
+}
+
+// TestValueRoundTripAcrossEncodings is the encoding round-trip property:
+// Value(pos) returns the same value from the RLE, dictionary (bit-packed)
+// and raw representation of the same data, at every position. 23 distinct
+// values force 5-bit codes, so packed codes straddle word boundaries.
+func TestValueRoundTripAcrossEncodings(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]value.Value, 3000)
+	cur := int64(0)
+	for i := range vals {
+		if rng.Intn(3) == 0 {
+			cur = int64(rng.Intn(23))
+		}
+		vals[i] = value.NewInt(cur)
+	}
+	segs := forceSegments(vals, value.KindInt)
+	if segs[EncodingDict].CodeBits() != 5 {
+		t.Fatalf("dict code bits = %d, want 5", segs[EncodingDict].CodeBits())
+	}
+	for pos := int64(1); pos <= int64(len(vals)); pos++ {
+		want := vals[pos-1]
+		for enc, seg := range segs {
+			if got := seg.Value(pos); value.Compare(got, want) != 0 {
+				t.Fatalf("%v: Value(%d) = %v, want %v", enc, pos, got, want)
+			}
+		}
+	}
+	// Out-of-range positions are NULL on every encoding.
+	for enc, seg := range segs {
+		if !seg.Value(0).IsNull() || !seg.Value(int64(len(vals))+1).IsNull() {
+			t.Errorf("%v: out-of-range position should be NULL", enc)
+		}
+	}
+}
+
+// TestDictCodesAreBitPacked pins the satellite fix: a dictionary segment
+// stores bit-packed codes, and its byte accounting matches the packed size
+// rather than full 32-bit words.
+func TestDictCodesAreBitPacked(t *testing.T) {
+	// 40k rows alternating over 16 distinct strings: dictionary wins.
+	vals := make([]value.Value, 40000)
+	for i := range vals {
+		vals[i] = value.NewString(fmt.Sprintf("v%02d", i%16))
+	}
+	rows := make([][]value.Value, len(vals))
+	for i, v := range vals {
+		rows[i] = []value.Value{v}
+	}
+	p, err := BuildProjection("d", []string{"s"}, []value.Kind{value.KindString}, nil, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := p.Segment("s")
+	if seg.Encoding != EncodingDict {
+		t.Fatalf("encoding = %v, want DICT", seg.Encoding)
+	}
+	if seg.CodeBits() != 4 {
+		t.Errorf("code bits = %d, want 4 for 16 distinct values", seg.CodeBits())
+	}
+	// The in-memory packed array must match the accounted packed size to
+	// within a word, and be ~8x smaller than full uint32 codes.
+	packedBytes := int64(len(seg.packed) * 8)
+	accounted := (int64(len(vals))*int64(seg.CodeBits()) + 7) / 8
+	if packedBytes < accounted || packedBytes > accounted+16 {
+		t.Errorf("packed array = %d bytes, accounted %d", packedBytes, accounted)
+	}
+	if fullWords := int64(len(vals)) * 4; packedBytes*6 > fullWords {
+		t.Errorf("codes are not bit-packed: %d bytes vs %d unpacked", packedBytes, fullWords)
+	}
+	if seg.DictSize() != 16 {
+		t.Errorf("dict size = %d, want 16", seg.DictSize())
+	}
+}
+
+// TestDictRawThresholdBoundary drives buildSegment to both sides of the
+// dict-vs-raw decision: low-cardinality strings pick the dictionary, and
+// all-distinct strings (where the dictionary would store every value AND a
+// code per row) pick raw.
+func TestDictRawThresholdBoundary(t *testing.T) {
+	build := func(distinct, n int) Encoding {
+		rows := make([][]value.Value, n)
+		for i := range rows {
+			rows[i] = []value.Value{value.NewString(fmt.Sprintf("value-%06d", i%distinct))}
+		}
+		p, err := BuildProjection("b", []string{"s"}, []value.Kind{value.KindString}, nil, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, _ := p.Segment("s")
+		return seg.Encoding
+	}
+	if enc := build(16, 4096); enc != EncodingDict {
+		t.Errorf("low-cardinality column encoded %v, want DICT", enc)
+	}
+	if enc := build(4096, 4096); enc != EncodingRaw {
+		t.Errorf("all-distinct column encoded %v, want RAW", enc)
+	}
+}
+
+// TestSingleRunRLEColumn: a column holding one value everywhere is a single
+// RLE run, selects everything in O(1) runs, and scans as a Const vector.
+func TestSingleRunRLEColumn(t *testing.T) {
+	const n = 5000
+	rows := make([][]value.Value, n)
+	for i := range rows {
+		rows[i] = []value.Value{value.NewInt(7), value.NewInt(int64(i))}
+	}
+	p, err := BuildProjection("one", []string{"k", "v"},
+		[]value.Kind{value.KindInt, value.KindInt}, []string{"k"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := p.Segment("k")
+	if seg.Encoding != EncodingRLE || len(seg.Runs()) != 1 {
+		t.Fatalf("constant column: encoding %v with %d runs, want RLE with 1", seg.Encoding, len(seg.Runs()))
+	}
+	ranges, err := p.SelectRange("k", value.NewInt(7), value.NewInt(7), true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 1 || ranges[0].Len() != n {
+		t.Fatalf("single-run selection = %v", ranges)
+	}
+	scan, err := NewProjectionScan(p, []string{"k"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scan.Open(); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := scan.NextBatch()
+	if err != nil || !ok {
+		t.Fatalf("NextBatch: ok=%v err=%v", ok, err)
+	}
+	if enc := b.Cols[0].Encoding(); enc != vector.Const {
+		t.Errorf("single-run window scanned as %v vector, want const", enc)
+	}
+	scan.Close()
+}
+
+// TestProjectionScanEmpty: scanning an empty projection terminates
+// immediately on both protocols.
+func TestProjectionScanEmpty(t *testing.T) {
+	p, err := BuildProjection("e", []string{"a"}, []value.Kind{value.KindInt}, []string{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := NewProjectionScan(p, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.DrainBatches(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty projection scan produced %d rows", len(rows))
+	}
+	rows, err = exec.Drain(exec.AsRowOperator(scan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty projection row scan produced %d rows", len(rows))
+	}
+	if _, err := NewProjectionScan(p, []string{"missing"}, false); err == nil {
+		t.Error("scan over a missing column should fail")
+	}
+}
+
+// TestProjectionScanMatchesValue: the batch scan's vectors agree with
+// Value(pos) for every encoding, window by window, and the compressed
+// encodings survive the window slicing (RLE segment -> RLE/Const vectors,
+// dict segment -> Dict vectors, raw -> Flat).
+func TestProjectionScanMatchesValue(t *testing.T) {
+	p := buildD1Like(t, 5000)
+	scan, err := NewProjectionScan(p, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scan.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer scan.Close()
+	sawCompressed := false
+	pos := int64(1)
+	for {
+		b, ok, err := scan.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		for i := 0; i < b.NumRows(); i++ {
+			row := b.Row(i)
+			for c, col := range p.Columns {
+				seg, _ := p.Segment(col)
+				if want := seg.Value(pos + int64(i)); value.Compare(row[c], want) != 0 {
+					t.Fatalf("position %d column %s: scan=%v Value=%v", pos+int64(i), col, row[c], want)
+				}
+			}
+		}
+		for c := range b.Cols {
+			if b.Cols[c].Encoding() != vector.Flat {
+				sawCompressed = true
+			}
+		}
+		pos += int64(b.NumRows())
+	}
+	if pos-1 != p.NumRows {
+		t.Fatalf("scan covered %d rows, want %d", pos-1, p.NumRows)
+	}
+	if !sawCompressed {
+		t.Error("compressed projection scan emitted only flat vectors")
 	}
 }
 

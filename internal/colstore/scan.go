@@ -7,11 +7,13 @@ import (
 )
 
 // This file implements a deliberately small native executor over compressed
-// projections. It exists for two reasons: (i) to sanity-check the row-store
-// strategies against an independent implementation operating directly on the
-// compressed columns, and (ii) to demonstrate the late-materialization style
-// of C-store query processing the paper describes (operate on positions, and
-// aggregate over run lengths without decompressing).
+// projections. Since the batch scan (vecscan.go) runs ColOpt queries through
+// the shared executor on compressed vectors, this is no longer on any query
+// hot path; it remains as (i) an independent test oracle for the executor
+// and the row-store strategies, and (ii) a demonstration of the
+// late-materialization style of C-store query processing the paper describes
+// (operate on positions, and aggregate over run lengths without
+// decompressing).
 
 // PositionRange is a contiguous range of 1-based positions [First, Last].
 type PositionRange struct {

@@ -13,6 +13,14 @@
 // Each c-table gets a clustered index on f and a secondary covering index on
 // v INCLUDE (f, c), which is exactly the physical design the paper's
 // rewritten queries (package core/rewrite) rely on.
+//
+// Because every c-table is clustered on f and covered on v, the planner's
+// sort-prefix marking makes c-table scans emit encoding-aware vectors: a
+// range seek on the covering v index produces RLE vectors of v (the design's
+// own run structure), and an equality predicate — the range-collapse case of
+// Figure 4, where the whole seek range carries one value — collapses v to a
+// Const vector, so the batch executor works on the compressed form
+// end to end.
 package ctable
 
 import (

@@ -230,6 +230,76 @@ func TestJoinSourceDesign(t *testing.T) {
 	}
 }
 
+// TestCompressedCTableExecution: rewritten c-table queries (band joins,
+// run-length aggregation) return identical results whether the engine's
+// batch scans emit compressed vectors (the default) or flat ones, and the
+// builder records the encoded column kinds.
+func TestCompressedCTableExecution(t *testing.T) {
+	build := func(disableCompressed bool) (*engine.Engine, *Design) {
+		e := engine.New(engine.Options{TupleOverhead: -1, DisableCompressed: disableCompressed})
+		if _, err := e.Execute("CREATE TABLE t (a INT, b INT, c INT, PRIMARY KEY (a, b, c))"); err != nil {
+			t.Fatal(err)
+		}
+		var load [][]value.Value
+		for i := 0; i < 600; i++ {
+			load = append(load, []value.Value{
+				value.NewInt(int64(i / 60)),
+				value.NewInt(int64(i / 6 % 10)),
+				value.NewInt(int64(i % 6)),
+			})
+		}
+		if err := e.BulkLoad("t", load); err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewBuilder(e).Build("cd", "SELECT a, b, c FROM t", []string{"a", "b", "c"}, []string{"a", "b", "c"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, d
+	}
+	compressed, d := build(false)
+	flat, _ := build(true)
+	if !compressed.Compressed() || flat.Compressed() {
+		t.Fatal("engine compression knobs are wrong")
+	}
+	ta, _ := d.Column("a")
+	tb, _ := d.Column("b")
+	queries := []string{
+		// Band join driven by an equality on the leading column's v index —
+		// the range-collapse shape where v arrives as a Const vector.
+		"SELECT T1.v, SUM(T1.c) FROM " + ta.Table + " T0, " + tb.Table + " T1 " +
+			"WHERE T0.v = 3 AND T1.f BETWEEN T0.f AND T0.f + T0.c - 1 GROUP BY T1.v",
+		// Range predicate on v: qualifying runs arrive as RLE vectors.
+		"SELECT v, SUM(c) FROM " + tb.Table + " WHERE v >= 5 GROUP BY v",
+		// Full scan in f order with run-length aggregation.
+		"SELECT v, SUM(c) FROM " + ta.Table + " GROUP BY v",
+	}
+	for _, q := range queries {
+		cres, err := compressed.Query(q)
+		if err != nil {
+			t.Fatalf("compressed %q: %v", q, err)
+		}
+		fres, err := flat.Query(q)
+		if err != nil {
+			t.Fatalf("flat %q: %v", q, err)
+		}
+		if len(cres.Rows) == 0 {
+			t.Fatalf("%q returned no rows", q)
+		}
+		if len(cres.Rows) != len(fres.Rows) {
+			t.Fatalf("%q: %d rows compressed, %d flat", q, len(cres.Rows), len(fres.Rows))
+		}
+		for i := range cres.Rows {
+			for j := range cres.Rows[i] {
+				cv, fv := cres.Rows[i][j], fres.Rows[i][j]
+				if cv.Kind != fv.Kind || value.Compare(cv, fv) != 0 {
+					t.Errorf("%q row %d col %d: %v vs %v", q, i, j, cv, fv)
+				}
+			}
+		}
+	}
+}
+
 func TestSkipValueIndexOption(t *testing.T) {
 	e := paperExampleEngine(t)
 	b := NewBuilder(e)

@@ -31,6 +31,11 @@ type Options struct {
 	Vectorized bool
 	// DisableVectorized forces row-at-a-time execution (see Vectorized).
 	DisableVectorized bool
+	// DisableCompressed forces the vectorized executor to run on flat
+	// (decompressed) vectors only: scans stop emitting Const/RLE vectors for
+	// sort-prefix columns. Compressed execution is the default; the knob
+	// exists for differential testing and the flat-vs-compressed benchmarks.
+	DisableCompressed bool
 }
 
 // Engine is a single-node, in-process database instance.
@@ -39,6 +44,7 @@ type Engine struct {
 	cat        *catalog.Catalog
 	views      map[string]*ViewDef
 	vectorized bool
+	compressed bool
 }
 
 // ViewDef records a materialized view: its defining query and backing table.
@@ -63,11 +69,13 @@ func New(opts Options) *Engine {
 		overhead = storage.DefaultTupleOverhead
 	}
 	pager := storage.NewPager(opts.BufferPoolPages)
+	vectorized := opts.Vectorized || !opts.DisableVectorized
 	return &Engine{
 		pager:      pager,
 		cat:        catalog.New(pager, overhead),
 		views:      make(map[string]*ViewDef),
-		vectorized: opts.Vectorized || !opts.DisableVectorized,
+		vectorized: vectorized,
+		compressed: vectorized && !opts.DisableCompressed,
 	}
 }
 
@@ -77,6 +85,9 @@ func Default() *Engine { return New(Options{TupleOverhead: -1}) }
 
 // Vectorized reports whether the engine executes queries batch-at-a-time.
 func (e *Engine) Vectorized() bool { return e.vectorized }
+
+// Compressed reports whether batch scans emit compressed (Const/RLE) vectors.
+func (e *Engine) Compressed() bool { return e.compressed }
 
 // Catalog exposes the engine's catalog.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
@@ -160,6 +171,7 @@ func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) { return e.run
 
 func (e *Engine) runSelect(stmt *sql.SelectStmt) (*Result, error) {
 	planner := plan.NewPlanner(e.cat)
+	planner.DisableCompressed = !e.compressed
 	pl, err := planner.PlanSelect(stmt)
 	if err != nil {
 		return nil, err

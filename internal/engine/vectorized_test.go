@@ -28,6 +28,32 @@ func TestVectorizedKnobDefaults(t *testing.T) {
 	}
 }
 
+// TestCompressedKnobDefaults pins the compressed-execution contract: the zero
+// value runs on compressed vectors, DisableCompressed keeps batch execution
+// but forces flat vectors, and row-at-a-time engines never claim compression
+// (they produce no batches at all).
+func TestCompressedKnobDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want bool
+	}{
+		{"zero value", Options{}, true},
+		{"default engine", Options{TupleOverhead: -1}, true},
+		{"compressed disabled", Options{DisableCompressed: true}, false},
+		{"row engine", Options{DisableVectorized: true}, false},
+		{"row engine, compression nominally on", Options{DisableVectorized: true, DisableCompressed: false}, false},
+	}
+	for _, c := range cases {
+		if got := New(c.opts).Compressed(); got != c.want {
+			t.Errorf("%s: Compressed() = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if !Default().Compressed() {
+		t.Error("Default() engine does not run on compressed vectors")
+	}
+}
+
 // TestVectorizedEngineEquivalence runs a small SQL workload through both
 // executor modes end to end (DDL, load, query) and requires identical
 // results, including plans and row order.

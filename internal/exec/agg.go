@@ -6,6 +6,7 @@ import (
 
 	"oldelephant/internal/expr"
 	"oldelephant/internal/value"
+	"oldelephant/internal/vector"
 )
 
 // AggKind enumerates the supported aggregate functions.
@@ -61,23 +62,32 @@ func newAggState() *aggState {
 	return &aggState{intOnly: true, min: value.Null(), max: value.Null()}
 }
 
-func (s *aggState) add(v value.Value, kind AggKind) {
+func (s *aggState) add(v value.Value, kind AggKind) { s.addN(v, 1, kind) }
+
+// addN folds reps occurrences of v into the state at once: COUNT and SUM
+// over a run of equal values collapse to one addition and one multiply,
+// MIN/MAX to a single comparison. It is how the vectorized aggregates
+// consume RLE runs as (value, count) pairs. Integer sums stay exact; float
+// sums fold the run as v*reps, which can round differently from repeated
+// addition — SQL leaves float aggregation order unspecified, and consumers
+// comparing against a row-at-a-time sum must allow a tolerance.
+func (s *aggState) addN(v value.Value, reps int64, kind AggKind) {
 	if kind == AggCountStar {
-		s.count++
+		s.count += reps
 		return
 	}
 	if v.IsNull() {
 		return
 	}
-	s.count++
+	s.count += reps
 	s.seen = true
 	switch kind {
 	case AggSum, AggAvg:
 		if v.Kind == value.KindFloat {
 			s.intOnly = false
 		}
-		s.sum += v.Float()
-		s.sumInt += v.Int()
+		s.sum += v.Float() * float64(reps)
+		s.sumInt += v.Int() * reps
 	case AggMin:
 		if s.min.IsNull() || value.Compare(v, s.min) < 0 {
 			s.min = v
@@ -222,39 +232,93 @@ func (h *HashAggregate) build(batchWise bool) error {
 			}
 			n := b.NumRows()
 			keyVals := make(Row, len(h.GroupBy))
-			for i := 0; i < n; i++ {
-				p := b.PhysIdx(i)
-				var grp *aggGroup
-				if fastOK {
-					v := b.Cols[h.GroupBy[0]][p]
-					if v.Kind != value.KindNull && v.Kind != value.KindString {
-						bits := value.NumericSortKey(v)
-						grp = fast[bits]
-						if grp == nil {
-							grp = newAggGroup(Row{v}, len(h.Aggs))
-							fast[bits] = grp
-							groups[string(value.EncodeKey(nil, grp.keys))] = grp
+			// lookupSlow is the generic encoded-key group lookup; keyVals must
+			// already hold the group key. The numeric single-column fast path
+			// stays inline in the loops below.
+			lookupSlow := func() *aggGroup {
+				keyBuf = value.EncodeKey(keyBuf[:0], keyVals)
+				grp, ok := groups[string(keyBuf)]
+				if !ok {
+					grp = newAggGroup(append(Row(nil), keyVals...), len(h.Aggs))
+					groups[string(keyBuf)] = grp
+				}
+				return grp
+			}
+			lookupFast := func(v value.Value) *aggGroup {
+				bits := value.NumericSortKey(v)
+				grp := fast[bits]
+				if grp == nil {
+					grp = newAggGroup(Row{v}, len(h.Aggs))
+					fast[bits] = grp
+					groups[string(value.EncodeKey(nil, grp.keys))] = grp
+				}
+				return grp
+			}
+			seg := newSegmentIter(b, h.GroupBy, argVecs)
+			if seg.flat {
+				// All-flat batch: the plain per-row loop over raw slices, with
+				// the numeric fast path fully inline (this is the executor's
+				// hottest loop). Only the columns the loop actually reads are
+				// flattened — untouched compressed columns stay compressed.
+				groupFlats := make([][]value.Value, len(h.GroupBy))
+				for k, g := range h.GroupBy {
+					groupFlats[k] = b.Cols[g].Flat()
+				}
+				argFlats := flatColumns(argVecs)
+				for i := 0; i < n; i++ {
+					p := b.PhysIdx(i)
+					var grp *aggGroup
+					if fastOK {
+						if v := groupFlats[0][p]; v.Kind != value.KindNull && v.Kind != value.KindString {
+							bits := value.NumericSortKey(v)
+							grp = fast[bits]
+							if grp == nil {
+								grp = newAggGroup(Row{v}, len(h.Aggs))
+								fast[bits] = grp
+								groups[string(value.EncodeKey(nil, grp.keys))] = grp
+							}
 						}
 					}
+					if grp == nil {
+						for k := range h.GroupBy {
+							keyVals[k] = groupFlats[k][p]
+						}
+						grp = lookupSlow()
+					}
+					for j, a := range h.Aggs {
+						var v value.Value
+						if a.Kind != AggCountStar {
+							v = argFlats[j][p]
+						}
+						grp.states[j].add(v, a.Kind)
+					}
 				}
-				if grp == nil {
-					for k, g := range h.GroupBy {
-						keyVals[k] = b.Cols[g][p]
+			} else {
+				// Compressed batch: walk maximal constant segments — a whole
+				// batch for Const vectors, a clipped run for RLE — so
+				// COUNT/SUM over a run collapse to a single addN.
+				for i := 0; i < n; {
+					p, reps := seg.next(i)
+					var grp *aggGroup
+					if fastOK {
+						if v := b.Cols[h.GroupBy[0]].Get(p); v.Kind != value.KindNull && v.Kind != value.KindString {
+							grp = lookupFast(v)
+						}
 					}
-					keyBuf = value.EncodeKey(keyBuf[:0], keyVals)
-					var ok bool
-					grp, ok = groups[string(keyBuf)]
-					if !ok {
-						grp = newAggGroup(append(Row(nil), keyVals...), len(h.Aggs))
-						groups[string(keyBuf)] = grp
+					if grp == nil {
+						for k, g := range h.GroupBy {
+							keyVals[k] = b.Cols[g].Get(p)
+						}
+						grp = lookupSlow()
 					}
-				}
-				for j, a := range h.Aggs {
-					var v value.Value
-					if a.Kind != AggCountStar {
-						v = argVecs[j][p]
+					for j, a := range h.Aggs {
+						var v value.Value
+						if a.Kind != AggCountStar {
+							v = argVecs[j].Get(p)
+						}
+						grp.states[j].addN(v, int64(reps), a.Kind)
 					}
-					grp.states[j].add(v, a.Kind)
+					i += reps
 				}
 			}
 		}
@@ -302,14 +366,11 @@ func (h *HashAggregate) build(batchWise bool) error {
 }
 
 // aggArgVectors evaluates aggregate arguments over a batch, leaving nil
-// vectors for COUNT(*).
-func aggArgVectors(aggs []AggSpec, b *Batch) ([][]value.Value, error) {
-	out := make([][]value.Value, len(aggs))
-	n := len(b.Cols)
-	physN := 0
-	if n > 0 {
-		physN = len(b.Cols[0])
-	}
+// vectors for COUNT(*). Argument vectors keep whatever encoding the kernels
+// preserved, so the segment walk can consume them run-wise.
+func aggArgVectors(aggs []AggSpec, b *Batch) ([]*vector.Vector, error) {
+	out := make([]*vector.Vector, len(aggs))
+	physN := b.physRows()
 	for j, a := range aggs {
 		if a.Kind == AggCountStar || a.Arg == nil {
 			continue
@@ -321,6 +382,79 @@ func aggArgVectors(aggs []AggSpec, b *Batch) ([][]value.Value, error) {
 		out[j] = vec
 	}
 	return out, nil
+}
+
+// flatColumns returns each vector's per-row slice (nil entries stay nil).
+// Callers use it on all-flat batches, where Flat() is zero-copy.
+func flatColumns(vecs []*vector.Vector) [][]value.Value {
+	out := make([][]value.Value, len(vecs))
+	for i, v := range vecs {
+		if v != nil {
+			out[i] = v.Flat()
+		}
+	}
+	return out
+}
+
+// segmentIter walks a batch's live rows in maximal constant segments: a
+// segment covers physically contiguous live rows over which every tracked
+// vector (group columns and aggregate arguments) is known to repeat one
+// value — a whole batch for Const vectors, a clipped run for RLE or Dict.
+// Aggregates fold a segment with a single addN, which is how COUNT or SUM
+// over an RLE run becomes one multiply. When every tracked vector is Flat
+// the walk degenerates to the plain per-row loop.
+type segmentIter struct {
+	b       *Batch
+	tracked []*vector.Vector
+	flat    bool
+}
+
+func newSegmentIter(b *Batch, groupBy []int, argVecs []*vector.Vector) *segmentIter {
+	it := &segmentIter{b: b, flat: true}
+	for _, g := range groupBy {
+		it.tracked = append(it.tracked, b.Cols[g])
+	}
+	for _, v := range argVecs {
+		if v != nil {
+			it.tracked = append(it.tracked, v)
+		}
+	}
+	for _, v := range it.tracked {
+		if v.Encoding() != vector.Flat {
+			it.flat = false
+			break
+		}
+	}
+	return it
+}
+
+// next returns the physical index of live row i and the number of live rows
+// in the constant segment starting there (at least 1).
+func (s *segmentIter) next(i int) (p, reps int) {
+	p = s.b.PhysIdx(i)
+	if s.flat {
+		return p, 1
+	}
+	end := s.b.physRows()
+	for _, v := range s.tracked {
+		if e := v.RunEndAt(p); e < end {
+			end = e
+		}
+	}
+	sel := s.b.Sel
+	if sel == nil {
+		// No selection: live rows are contiguous by construction, so the
+		// whole clipped run is one segment — COUNT/SUM over it is one addN.
+		return p, end - p
+	}
+	// Under a selection, extend only across physically consecutive live rows
+	// (filters over RLE columns produce contiguous index ranges, so this
+	// still recovers whole runs).
+	reps = 1
+	for i+reps < len(sel) && p+reps < end && sel[i+reps] == p+reps {
+		reps++
+	}
+	return p, reps
 }
 
 func accumulate(states []*aggState, aggs []AggSpec, row Row) error {
@@ -506,12 +640,16 @@ func (s *StreamAggregate) NextBatch() (*Batch, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
+		seg := newSegmentIter(b, s.GroupBy, argVecs)
 		n := b.NumRows()
-		for i := 0; i < n; i++ {
-			p := b.PhysIdx(i)
+		for i := 0; i < n; {
+			// The group key is constant across a segment by construction, so
+			// the key comparison runs once per segment and the aggregates
+			// consume the segment as one (value, count) pair.
+			p, reps := seg.next(i)
 			keyVals := make(Row, len(s.GroupBy))
 			for k, g := range s.GroupBy {
-				keyVals[k] = b.Cols[g][p]
+				keyVals[k] = b.Cols[g].Get(p)
 			}
 			if !s.started {
 				s.started = true
@@ -525,10 +663,11 @@ func (s *StreamAggregate) NextBatch() (*Batch, bool, error) {
 			for j, a := range s.Aggs {
 				var v value.Value
 				if a.Kind != AggCountStar {
-					v = argVecs[j][p]
+					v = argVecs[j].Get(p)
 				}
-				s.states[j].add(v, a.Kind)
+				s.states[j].addN(v, int64(reps), a.Kind)
 			}
+			i += reps
 		}
 		if out.physRows() > 0 {
 			return out, true, nil

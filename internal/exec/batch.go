@@ -3,6 +3,7 @@ package exec
 import (
 	"oldelephant/internal/expr"
 	"oldelephant/internal/value"
+	"oldelephant/internal/vector"
 )
 
 // DefaultBatchSize is the number of rows a batch-producing operator emits per
@@ -12,12 +13,15 @@ import (
 const DefaultBatchSize = 1024
 
 // Batch is a column-major slice of rows flowing between vectorized operators:
-// Cols[c][i] holds column c of physical row i, and every column has the same
-// length. An optional selection vector Sel lists the live physical row
+// Cols[c] is the vector of column c, and every vector has the same logical
+// length. Vectors carry their own encoding (Flat, Const, RLE, Dict), so a
+// batch can flow through the executor in compressed form; decompression is
+// lazy and happens only at protocol boundaries (row adapters, joins, result
+// drains). An optional selection vector Sel lists the live physical row
 // indices in ascending order (nil means all rows are live), which lets
 // filters drop rows without copying the surviving ones.
 type Batch struct {
-	Cols [][]value.Value
+	Cols []*vector.Vector
 	Sel  []int
 	// n tracks the physical row count for zero-column batches (a constant
 	// SELECT's single empty row, for example); with columns present the
@@ -25,14 +29,24 @@ type Batch struct {
 	n int
 }
 
-// NewBatch returns an empty batch with ncols columns, each with the given
-// row capacity.
+// NewBatch returns an empty batch with ncols Flat columns, each with the
+// given row capacity.
 func NewBatch(ncols, capacity int) *Batch {
-	cols := make([][]value.Value, ncols)
+	cols := make([]*vector.Vector, ncols)
 	for i := range cols {
-		cols[i] = make([]value.Value, 0, capacity)
+		cols[i] = vector.NewFlatCap(capacity)
 	}
 	return &Batch{Cols: cols}
+}
+
+// NewBatchFromVectors wraps pre-built column vectors (possibly compressed)
+// into a batch. All vectors must have the same length.
+func NewBatchFromVectors(cols []*vector.Vector) *Batch {
+	b := &Batch{Cols: cols}
+	if len(cols) > 0 {
+		b.n = cols[0].Len()
+	}
+	return b
 }
 
 // NumRows returns the number of live (selected) rows.
@@ -48,7 +62,7 @@ func (b *Batch) physRows() int {
 	if len(b.Cols) == 0 {
 		return b.n
 	}
-	return len(b.Cols[0])
+	return b.Cols[0].Len()
 }
 
 // PhysIdx maps a live row position (0..NumRows-1) to its physical index.
@@ -60,10 +74,10 @@ func (b *Batch) PhysIdx(i int) int {
 }
 
 // AppendRow appends one row to a batch under construction. It must not be
-// called on a batch with a selection vector.
+// called on a batch with a selection vector or with compressed columns.
 func (b *Batch) AppendRow(row Row) {
 	for c := range b.Cols {
-		b.Cols[c] = append(b.Cols[c], row[c])
+		b.Cols[c].Append(row[c])
 	}
 	b.n++
 }
@@ -73,17 +87,31 @@ func (b *Batch) Row(i int) Row {
 	p := b.PhysIdx(i)
 	out := make(Row, len(b.Cols))
 	for c := range b.Cols {
-		out[c] = b.Cols[c][p]
+		out[c] = b.Cols[c].Get(p)
 	}
 	return out
 }
 
 // AppendRows appends every live row to dst (row-major) and returns it. It is
-// how the engine's result collection converts batches back to rows.
+// how the engine's result collection converts batches back to rows — a
+// protocol boundary, so compressed columns are decompressed here (once per
+// column, not once per access).
 func (b *Batch) AppendRows(dst []Row) []Row {
 	n := b.NumRows()
+	if n == 0 {
+		return dst
+	}
+	flats := make([][]value.Value, len(b.Cols))
+	for c := range b.Cols {
+		flats[c] = b.Cols[c].Flat()
+	}
 	for i := 0; i < n; i++ {
-		dst = append(dst, b.Row(i))
+		p := b.PhysIdx(i)
+		out := make(Row, len(b.Cols))
+		for c := range flats {
+			out[c] = flats[c][p]
+		}
+		dst = append(dst, out)
 	}
 	return dst
 }
@@ -226,11 +254,11 @@ func DrainVectorized(op Operator) ([]Row, error) {
 }
 
 // evalProjectionVectors evaluates a list of expressions over a batch,
-// returning physically aligned output vectors. Shared by Project and the
-// vectorized aggregates.
-func evalProjectionVectors(exprs []expr.Expr, b *Batch) ([][]value.Value, error) {
+// returning physically aligned output vectors (encoding preserved where the
+// kernels allow). Shared by Project and the vectorized aggregates.
+func evalProjectionVectors(exprs []expr.Expr, b *Batch) ([]*vector.Vector, error) {
 	n := b.physRows()
-	out := make([][]value.Value, len(exprs))
+	out := make([]*vector.Vector, len(exprs))
 	for i, e := range exprs {
 		vec, err := expr.EvalVector(e, b.Cols, b.Sel, n)
 		if err != nil {
@@ -255,6 +283,6 @@ func batchFromRows(rows []Row, pos *int, ncols int) *Batch {
 
 // projectedBatch wraps projection output vectors into a batch that preserves
 // the input's selection and physical row count.
-func projectedBatch(vecs [][]value.Value, src *Batch) *Batch {
+func projectedBatch(vecs []*vector.Vector, src *Batch) *Batch {
 	return &Batch{Cols: vecs, Sel: src.Sel, n: src.physRows()}
 }

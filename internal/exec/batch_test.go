@@ -6,6 +6,7 @@ import (
 
 	"oldelephant/internal/expr"
 	"oldelephant/internal/value"
+	"oldelephant/internal/vector"
 )
 
 func intRow(vals ...int64) Row {
@@ -216,6 +217,67 @@ func TestBatchRowEquivalenceOperators(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestScanEncodeCols: scans with EncodeCols set emit compressed vectors for
+// their sort-prefix columns without changing results, and an equality seek
+// collapses its leading key column to a Const vector.
+func TestScanEncodeCols(t *testing.T) {
+	_, lineitem, _ := buildTestDB(t) // clustered on (l_shipdate, l_suppkey)
+	plain := NewSeqScan(lineitem, nil)
+	want, err := DrainBatches(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := NewSeqScan(lineitem, nil)
+	enc.EncodeCols = []int{2, 1} // l_shipdate, l_suppkey output positions
+	if err := enc.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Row
+	sawRuns := false
+	for {
+		b, ok, err := enc.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if e := b.Cols[2].Encoding(); e == vector.RLE || e == vector.Const {
+			sawRuns = true
+		}
+		got = b.AppendRows(got)
+	}
+	enc.Close()
+	if !sawRuns {
+		t.Error("clustered-prefix column never compressed under EncodeCols")
+	}
+	if rowsKey(got) != rowsKey(want) {
+		t.Fatal("EncodeCols scan changed the result")
+	}
+	// Equality seek on the leading clustered key: the range carries a single
+	// shipdate, so the marked column arrives as one run — a Const vector.
+	d := want[len(want)/2][2]
+	seek, err := NewClusteredSeek(lineitem, []value.Value{d}, []value.Value{d}, true, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seek.EncodeCols = []int{2}
+	if err := seek.Open(); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := seek.NextBatch()
+	if err != nil || !ok {
+		t.Fatalf("equality seek returned nothing: ok=%v err=%v", ok, err)
+	}
+	if e := b.Cols[2].Encoding(); e != vector.Const {
+		t.Errorf("equality-seek leading column encoding = %v, want const", e)
+	}
+	if v := b.Cols[2].Get(0); value.Compare(v, d) != 0 {
+		t.Errorf("equality-seek constant = %v, want %v", v, d)
+	}
+	seek.Close()
 }
 
 // TestRowSourceAcrossBatches checks RowSource's cursor over multi-batch input

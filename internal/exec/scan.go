@@ -5,6 +5,7 @@ import (
 
 	"oldelephant/internal/catalog"
 	"oldelephant/internal/value"
+	"oldelephant/internal/vector"
 )
 
 // projectedSchema builds the output schema for a table access that returns
@@ -37,13 +38,21 @@ func allOrdinals(n int) []int {
 
 // fillBatchFromIterator pulls up to DefaultBatchSize rows from a row
 // iterator into a fresh column-major batch, projecting the given base-table
-// ordinals. A nil batch result means the iterator is exhausted.
-func fillBatchFromIterator(it *catalog.RowIterator, cols []int) (*Batch, error) {
-	b := NewBatch(len(cols), DefaultBatchSize)
+// ordinals. A nil batch result means the iterator is exhausted. The output
+// positions listed in encode are run-encoded afterwards (see
+// compressBatchCols).
+func fillBatchFromIterator(it *catalog.RowIterator, cols []int, encode []int) (*Batch, error) {
+	// Fill raw value slices and wrap them as vectors once at the end: the
+	// per-value loop is the scan hot path, so it must stay a plain append.
+	vals := make([][]value.Value, len(cols))
+	for i := range vals {
+		vals[i] = make([]value.Value, 0, DefaultBatchSize)
+	}
+	n := 0
 	// The decode buffer is reused across rows: values are copied into the
 	// column vectors immediately, so the aliasing is safe.
 	var buf []value.Value
-	for b.physRows() < DefaultBatchSize {
+	for n < DefaultBatchSize {
 		row, ok, err := it.NextInto(buf)
 		if err != nil {
 			return nil, err
@@ -53,14 +62,34 @@ func fillBatchFromIterator(it *catalog.RowIterator, cols []int) (*Batch, error) 
 		}
 		buf = row
 		for i, ord := range cols {
-			b.Cols[i] = append(b.Cols[i], row[ord])
+			vals[i] = append(vals[i], row[ord])
 		}
-		b.n++
+		n++
 	}
-	if b.physRows() == 0 {
+	if n == 0 {
 		return nil, nil
 	}
+	b := &Batch{Cols: make([]*vector.Vector, len(cols)), n: n}
+	for i := range vals {
+		b.Cols[i] = vector.NewFlat(vals[i])
+	}
+	compressBatchCols(b, encode)
 	return b, nil
+}
+
+// compressBatchCols run-encodes the marked output columns of a freshly
+// filled batch. The planner marks a scan's sort-prefix columns (clustered-key
+// or index-key prefix), where the storage order makes long runs likely — the
+// paper's Figure-4 structure. An equality seek collapses its prefix column to
+// a single run, which Compress turns into a Const vector; columns that turn
+// out not to compress stay Flat, so the marking is a hint, never a
+// correctness requirement.
+func compressBatchCols(b *Batch, cols []int) {
+	for _, c := range cols {
+		if c >= 0 && c < len(b.Cols) {
+			b.Cols[c] = vector.Compress(b.Cols[c].Flat())
+		}
+	}
 }
 
 // SeqScan reads every row of a table (clustered-key order for clustered
@@ -68,6 +97,9 @@ func fillBatchFromIterator(it *catalog.RowIterator, cols []int) (*Batch, error) 
 type SeqScan struct {
 	Table *catalog.Table
 	Cols  []int // base-table ordinals to produce; nil means all
+	// EncodeCols lists output positions to run-encode in produced batches
+	// (typically the clustered-key prefix, set by the planner).
+	EncodeCols []int
 
 	it     *catalog.RowIterator
 	schema []ColumnInfo
@@ -107,7 +139,7 @@ func (s *SeqScan) NextBatch() (*Batch, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("SeqScan")
 	}
-	b, err := fillBatchFromIterator(s.it, s.Cols)
+	b, err := fillBatchFromIterator(s.it, s.Cols, s.EncodeCols)
 	if err != nil || b == nil {
 		return nil, false, err
 	}
@@ -128,6 +160,10 @@ type ClusteredSeek struct {
 	LoIncl bool
 	HiIncl bool
 	Cols   []int
+	// EncodeCols lists output positions to run-encode in produced batches
+	// (the clustered-key prefix; an equality seek makes its leading column a
+	// Const vector).
+	EncodeCols []int
 
 	it     *catalog.RowIterator
 	schema []ColumnInfo
@@ -177,7 +213,7 @@ func (s *ClusteredSeek) NextBatch() (*Batch, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("ClusteredSeek")
 	}
-	b, err := fillBatchFromIterator(s.it, s.Cols)
+	b, err := fillBatchFromIterator(s.it, s.Cols, s.EncodeCols)
 	if err != nil || b == nil {
 		return nil, false, err
 	}
@@ -200,6 +236,10 @@ type IndexSeek struct {
 	LoIncl bool
 	HiIncl bool
 	Cols   []int
+	// EncodeCols lists output positions to run-encode in produced batches
+	// (the index-key prefix; an equality seek makes its leading column a
+	// Const vector).
+	EncodeCols []int
 
 	it      *catalog.IndexIterator
 	schema  []ColumnInfo
@@ -295,6 +335,7 @@ func (s *IndexSeek) NextBatch() (*Batch, bool, error) {
 	if b.physRows() == 0 {
 		return nil, false, nil
 	}
+	compressBatchCols(b, s.EncodeCols)
 	return b, true, nil
 }
 

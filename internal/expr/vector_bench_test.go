@@ -1,0 +1,67 @@
+package expr
+
+import (
+	"testing"
+
+	"oldelephant/internal/value"
+	"oldelephant/internal/vector"
+)
+
+// Kernel-level microbenchmarks for SelectVector across vector encodings: the
+// same predicate over the same 64k-row data, once per encoding. The RLE and
+// Dict kernels evaluate the comparison once per run / dictionary entry, so
+// their advantage over the Flat kernel is what the CI bench smoke guards.
+//
+//	go test ./internal/expr -bench SelectVector
+
+const benchN = 1 << 16
+
+// benchVals is 64k ints in 128 runs of 512 equal values, 64 distinct values.
+func benchVals() []value.Value {
+	vals := make([]value.Value, benchN)
+	for i := range vals {
+		vals[i] = value.NewInt(int64((i / 512) % 64))
+	}
+	return vals
+}
+
+func benchSelect(b *testing.B, col *vector.Vector) {
+	b.Helper()
+	pred := NewBinary(OpGt, NewColumn(0, "x"), NewConst(value.NewInt(31)))
+	cols := []*vector.Vector{col}
+	kept := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel, err := SelectVector(pred, cols, nil, benchN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kept = len(sel)
+	}
+	b.StopTimer()
+	if kept == 0 {
+		b.Fatal("benchmark predicate selected nothing")
+	}
+	b.ReportMetric(float64(benchN)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}
+
+func BenchmarkSelectVectorFlat(b *testing.B) {
+	benchSelect(b, vector.NewFlat(benchVals()))
+}
+
+func BenchmarkSelectVectorRLE(b *testing.B) {
+	benchSelect(b, vector.Compress(benchVals()))
+}
+
+func BenchmarkSelectVectorDict(b *testing.B) {
+	vals := benchVals()
+	dict := make([]value.Value, 64)
+	codes := make([]uint32, len(vals))
+	for i := range dict {
+		dict[i] = value.NewInt(int64(i))
+	}
+	for i, v := range vals {
+		codes[i] = uint32(v.I)
+	}
+	benchSelect(b, vector.NewDict(dict, codes))
+}

@@ -5,11 +5,14 @@ import (
 	"testing"
 
 	"oldelephant/internal/value"
+	"oldelephant/internal/vector"
 )
 
-// randomBatch builds a column-major batch with mixed kinds and some NULLs:
-// col0 int, col1 float, col2 string, col3 date, col4 int with nulls.
-func randomBatch(rng *rand.Rand, n int) [][]value.Value {
+// randomColumns builds column-major test data with mixed kinds and some
+// NULLs: col0 int, col1 float, col2 string, col3 date, col4 int with nulls.
+// Every column has few distinct values so all encodings are exercised
+// meaningfully.
+func randomColumns(rng *rand.Rand, n int) [][]value.Value {
 	cols := make([][]value.Value, 5)
 	for c := range cols {
 		cols[c] = make([]value.Value, n)
@@ -26,6 +29,64 @@ func randomBatch(rng *rand.Rand, n int) [][]value.Value {
 		}
 	}
 	return cols
+}
+
+// encodeAs re-encodes per-row values into the requested vector encoding.
+// Any data can be represented as Flat, RLE or Dict; Const requires a
+// constant column and is tested separately.
+func encodeAs(tb testing.TB, enc vector.Encoding, vals []value.Value) *vector.Vector {
+	tb.Helper()
+	switch enc {
+	case vector.Flat:
+		return vector.NewFlat(vals)
+	case vector.RLE:
+		var runVals []value.Value
+		var starts []int
+		for i, v := range vals {
+			if len(runVals) == 0 || !sameValue(v, runVals[len(runVals)-1]) {
+				runVals = append(runVals, v)
+				starts = append(starts, i)
+			}
+		}
+		// The exclusive end of run r is the start of run r+1.
+		ends := make([]int, len(starts))
+		for r := 0; r+1 < len(starts); r++ {
+			ends[r] = starts[r+1]
+		}
+		if len(ends) > 0 {
+			ends[len(ends)-1] = len(vals)
+		}
+		return vector.NewRLE(runVals, ends)
+	case vector.Dict:
+		var dict []value.Value
+		codes := make([]uint32, len(vals))
+		index := make(map[string]uint32)
+		for i, v := range vals {
+			key := v.Kind.String() + "|" + v.String()
+			code, ok := index[key]
+			if !ok {
+				code = uint32(len(dict))
+				index[key] = code
+				dict = append(dict, v)
+			}
+			codes[i] = code
+		}
+		return vector.NewDict(dict, codes)
+	default:
+		tb.Fatalf("encodeAs: unsupported encoding %v", enc)
+		return nil
+	}
+}
+
+func sameValue(a, b value.Value) bool { return a.Kind == b.Kind && value.Equal(a, b) }
+
+// encodeBatch encodes every column with the given encoding.
+func encodeBatch(tb testing.TB, enc vector.Encoding, cols [][]value.Value) []*vector.Vector {
+	out := make([]*vector.Vector, len(cols))
+	for c := range cols {
+		out[c] = encodeAs(tb, enc, cols[c])
+	}
+	return out
 }
 
 func rowAt(cols [][]value.Value, i int) []value.Value {
@@ -65,78 +126,157 @@ func testExprs() []Expr {
 	}
 }
 
+var testEncodings = []vector.Encoding{vector.Flat, vector.RLE, vector.Dict}
+
 // TestEvalVectorMatchesEval checks that every kernel computes exactly what
-// row-at-a-time Eval computes, over full batches and under selection vectors.
+// row-at-a-time Eval computes — over full batches, under selection vectors,
+// and for every vector encoding of the same data.
 func TestEvalVectorMatchesEval(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	const n = 500
-	cols := randomBatch(rng, n)
+	cols := randomColumns(rng, n)
 	// A strided selection vector exercises the sel paths.
 	var sel []int
 	for i := 0; i < n; i += 3 {
 		sel = append(sel, i)
 	}
-	for _, e := range testExprs() {
-		for _, s := range [][]int{nil, sel} {
-			vec, err := EvalVector(e, cols, s, n)
-			if err != nil {
-				t.Fatalf("%s: EvalVector: %v", e, err)
-			}
-			forEachSel(s, n, func(i int) {
-				want, err := e.Eval(rowAt(cols, i))
+	for _, enc := range testEncodings {
+		batch := encodeBatch(t, enc, cols)
+		for _, e := range testExprs() {
+			for _, s := range [][]int{nil, sel} {
+				vec, err := EvalVector(e, batch, s, n)
 				if err != nil {
-					t.Fatalf("%s: Eval row %d: %v", e, i, err)
+					t.Fatalf("%v %s: EvalVector: %v", enc, e, err)
 				}
-				got := vec[i]
-				if got.Kind != want.Kind || value.Compare(got, want) != 0 {
-					t.Fatalf("%s: row %d: vector=%v (%v) row=%v (%v)", e, i, got, got.Kind, want, want.Kind)
-				}
-			})
+				forEachSel(s, n, func(i int) {
+					want, err := e.Eval(rowAt(cols, i))
+					if err != nil {
+						t.Fatalf("%v %s: Eval row %d: %v", enc, e, i, err)
+					}
+					got := vec.Get(i)
+					if got.Kind != want.Kind || value.Compare(got, want) != 0 {
+						t.Fatalf("%v %s: row %d: vector=%v (%v) row=%v (%v)", enc, e, i, got, got.Kind, want, want.Kind)
+					}
+				})
+			}
 		}
 	}
 }
 
+// TestEvalVectorPreservesEncoding pins the compression-preserving contract:
+// single-column expressions over compressed vectors keep the encoding, and
+// column references pass the vector through untouched.
+func TestEvalVectorPreservesEncoding(t *testing.T) {
+	vals := []value.Value{value.NewInt(1), value.NewInt(1), value.NewInt(2), value.NewInt(2), value.NewInt(3)}
+	pred := NewBinary(OpGt, NewColumn(0, "x"), NewConst(value.NewInt(1)))
+	cases := []struct {
+		in   *vector.Vector
+		want vector.Encoding
+	}{
+		{encodeAs(t, vector.RLE, vals), vector.RLE},
+		{encodeAs(t, vector.Dict, vals), vector.Dict},
+		{vector.NewConst(value.NewInt(2), 5), vector.Const},
+		{vector.NewFlat(vals), vector.Flat},
+	}
+	for _, c := range cases {
+		out, err := EvalVector(pred, []*vector.Vector{c.in}, nil, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Encoding() != c.want {
+			t.Errorf("predicate over %v vector produced %v, want %v", c.in.Encoding(), out.Encoding(), c.want)
+		}
+		colRef, err := EvalVector(NewColumn(0, "x"), []*vector.Vector{c.in}, nil, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if colRef != c.in {
+			t.Errorf("column reference over %v vector did not pass through", c.in.Encoding())
+		}
+	}
+	// A constant expression evaluates to a Const vector regardless of inputs.
+	out, err := EvalVector(NewConst(value.NewInt(7)), []*vector.Vector{vector.NewFlat(vals)}, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Encoding() != vector.Const || out.Len() != 5 {
+		t.Errorf("constant expression produced %v of length %d", out.Encoding(), out.Len())
+	}
+}
+
 // TestSelectVectorMatchesEvalBool checks that selection through the filter
-// kernels keeps exactly the rows EvalBool keeps.
+// kernels keeps exactly the rows EvalBool keeps, for every encoding.
 func TestSelectVectorMatchesEvalBool(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	const n = 500
-	cols := randomBatch(rng, n)
+	cols := randomColumns(rng, n)
 	var sel []int
 	for i := 1; i < n; i += 2 {
 		sel = append(sel, i)
 	}
-	for _, e := range testExprs() {
-		for _, s := range [][]int{nil, sel} {
-			got, err := SelectVector(e, cols, s, n)
-			if err != nil {
-				t.Fatalf("%s: SelectVector: %v", e, err)
-			}
-			var want []int
-			forEachSel(s, n, func(i int) {
-				pass, err := EvalBool(e, rowAt(cols, i))
+	for _, enc := range testEncodings {
+		batch := encodeBatch(t, enc, cols)
+		for _, e := range testExprs() {
+			for _, s := range [][]int{nil, sel} {
+				got, err := SelectVector(e, batch, s, n)
 				if err != nil {
-					t.Fatalf("%s: EvalBool row %d: %v", e, i, err)
+					t.Fatalf("%v %s: SelectVector: %v", enc, e, err)
 				}
-				if pass {
-					want = append(want, i)
+				var want []int
+				forEachSel(s, n, func(i int) {
+					pass, err := EvalBool(e, rowAt(cols, i))
+					if err != nil {
+						t.Fatalf("%v %s: EvalBool row %d: %v", enc, e, i, err)
+					}
+					if pass {
+						want = append(want, i)
+					}
+				})
+				if len(got) != len(want) {
+					t.Fatalf("%v %s: selected %d rows, want %d", enc, e, len(got), len(want))
 				}
-			})
-			if len(got) != len(want) {
-				t.Fatalf("%s: selected %d rows, want %d", e, len(got), len(want))
-			}
-			for i := range got {
-				if got[i] != want[i] {
-					t.Fatalf("%s: selection[%d]=%d, want %d", e, i, got[i], want[i])
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%v %s: selection[%d]=%d, want %d", enc, e, i, got[i], want[i])
+					}
 				}
 			}
 		}
+	}
+}
+
+// TestSelectVectorConstColumn: predicates over a Const vector decide once for
+// the whole batch — everything passes or nothing does.
+func TestSelectVectorConstColumn(t *testing.T) {
+	cols := []*vector.Vector{vector.NewConst(value.NewInt(5), 4)}
+	keep, err := SelectVector(NewBinary(OpGt, NewColumn(0, "x"), NewConst(value.NewInt(3))), cols, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 4 {
+		t.Fatalf("passing const predicate kept %v, want all 4 rows", keep)
+	}
+	drop, err := SelectVector(NewBinary(OpLt, NewColumn(0, "x"), NewConst(value.NewInt(3))), cols, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drop) != 0 {
+		t.Fatalf("failing const predicate kept %v, want none", drop)
+	}
+	// Under a selection vector the passing case returns the selection itself.
+	sel := []int{1, 3}
+	got, err := SelectVector(NewBinary(OpGe, NewColumn(0, "x"), NewConst(value.NewInt(5))), cols, sel, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("const predicate under sel = %v, want [1 3]", got)
 	}
 }
 
 // TestSelectVectorNilPredicate checks the pass-through contract.
 func TestSelectVectorNilPredicate(t *testing.T) {
-	cols := [][]value.Value{{value.NewInt(1), value.NewInt(2), value.NewInt(3)}}
+	cols := []*vector.Vector{vector.NewFlat([]value.Value{value.NewInt(1), value.NewInt(2), value.NewInt(3)})}
 	all, err := SelectVector(nil, cols, nil, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -155,23 +295,26 @@ func TestSelectVectorNilPredicate(t *testing.T) {
 }
 
 // TestSelectVectorNullConstant: comparisons against a NULL constant select
-// nothing, as in SQL.
+// nothing, as in SQL, on every encoding.
 func TestSelectVectorNullConstant(t *testing.T) {
-	cols := [][]value.Value{{value.NewInt(1), value.NewInt(2)}}
-	pred := NewBinary(OpEq, NewColumn(0, "x"), NewConst(value.Null()))
-	got, err := SelectVector(pred, cols, nil, 2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 0 {
-		t.Fatalf("x = NULL selected %v, want none", got)
+	vals := []value.Value{value.NewInt(1), value.NewInt(2)}
+	for _, enc := range testEncodings {
+		cols := []*vector.Vector{encodeAs(t, enc, vals)}
+		pred := NewBinary(OpEq, NewColumn(0, "x"), NewConst(value.Null()))
+		got, err := SelectVector(pred, cols, nil, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("%v: x = NULL selected %v, want none", enc, got)
+		}
 	}
 }
 
 // TestEvalVectorColumnOutOfRange: kernels surface binding errors rather than
 // panicking.
 func TestEvalVectorColumnOutOfRange(t *testing.T) {
-	cols := [][]value.Value{{value.NewInt(1)}}
+	cols := []*vector.Vector{vector.NewFlat([]value.Value{value.NewInt(1)})}
 	if _, err := EvalVector(NewColumn(3, "bad"), cols, nil, 1); err == nil {
 		t.Fatal("expected out-of-range error from EvalVector")
 	}

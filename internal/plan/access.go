@@ -294,6 +294,21 @@ func (p *Planner) planBaseTable(t *catalog.Table, alias string, needed []int, pu
 		}
 		src.ordering = append(src.ordering, pos)
 	}
+	// The sort-prefix columns of the chosen access path arrive in key order,
+	// so their batches have long runs (and collapse to a single constant under
+	// an equality seek) — mark them for compressed vector emission. This is
+	// what lets c-table and materialized-view plans run on Const/RLE vectors:
+	// their clustered keys are exactly the paper's run structure.
+	if !p.DisableCompressed && len(src.ordering) > 0 {
+		switch op := best.op.(type) {
+		case *exec.SeqScan:
+			op.EncodeCols = src.ordering
+		case *exec.ClusteredSeek:
+			op.EncodeCols = src.ordering
+		case *exec.IndexSeek:
+			op.EncodeCols = src.ordering
+		}
+	}
 	// Re-apply the pushed predicates as a residual filter: seeks only consume
 	// the leading-column range, and re-checking a consumed range is harmless.
 	if len(pushed) > 0 {

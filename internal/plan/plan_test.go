@@ -141,6 +141,63 @@ func TestPlansExecuteCorrectly(t *testing.T) {
 	}
 }
 
+// findScanEncodeCols digs the access-path operator out of a plan (behind
+// Project/Filter wrappers) and returns its EncodeCols marking.
+func findScanEncodeCols(op exec.Operator) []int {
+	for {
+		switch t := op.(type) {
+		case *exec.Project:
+			op = t.Input
+		case *exec.Filter:
+			op = t.Input
+		default:
+			goto unwrapped
+		}
+	}
+unwrapped:
+	switch s := op.(type) {
+	case *exec.SeqScan:
+		return s.EncodeCols
+	case *exec.ClusteredSeek:
+		return s.EncodeCols
+	case *exec.IndexSeek:
+		return s.EncodeCols
+	default:
+		return nil
+	}
+}
+
+// TestPlannerMarksCompressedScans: access paths with a sort prefix are marked
+// for compressed vector emission by default, and DisableCompressed turns the
+// marking off.
+func TestPlannerMarksCompressedScans(t *testing.T) {
+	c := newTestCatalog(t)
+	stmt, err := sql.ParseSelect("SELECT day, user_id FROM events WHERE day = DATE '2008-03-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlanner(c).PlanSelect(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := findScanEncodeCols(p.Root)
+	if len(marked) == 0 {
+		t.Fatalf("clustered seek not marked for compressed emission (plan %s)", p.Explain)
+	}
+	if marked[0] != 0 {
+		t.Errorf("leading marked position = %d, want 0 (day is the first produced column)", marked[0])
+	}
+	planner := NewPlanner(c)
+	planner.DisableCompressed = true
+	p, err = planner.PlanSelect(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marked := findScanEncodeCols(p.Root); len(marked) != 0 {
+		t.Errorf("DisableCompressed planner still marked %v", marked)
+	}
+}
+
 func TestPlannerErrors(t *testing.T) {
 	c := newTestCatalog(t)
 	bad := []string{

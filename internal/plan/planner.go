@@ -15,6 +15,11 @@ import (
 // Planner compiles SELECT statements into operator trees against a catalog.
 type Planner struct {
 	Catalog *catalog.Catalog
+	// DisableCompressed stops base-table scans from emitting compressed
+	// (Const/RLE) vectors for their sort-prefix columns. Compressed emission
+	// is the default; the knob exists for differential testing and
+	// row-at-a-time execution, where batches are never produced.
+	DisableCompressed bool
 }
 
 // NewPlanner returns a planner over the given catalog.

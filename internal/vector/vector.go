@@ -1,0 +1,298 @@
+// Package vector implements the encoding-aware column vectors that flow
+// between batch operators. A Vector is one column of a batch in one of four
+// physical encodings:
+//
+//	Flat  — one value per row (the decompressed form);
+//	Const — a single value repeated for every row;
+//	RLE   — runs of equal values stored as (value, end-position) pairs;
+//	Dict  — a dictionary of distinct values plus one code per row.
+//
+// Operators and expression kernels dispatch on the encoding so that work
+// proportional to the *compressed* size (runs, dictionary entries) replaces
+// work proportional to the row count wherever the semantics allow — the
+// C-store execution style the paper's ColOpt bound assumes. Decompression is
+// lazy: Flat() materializes (and caches) the row-wise form only when a
+// consumer genuinely needs per-row values, which confines decompression to
+// protocol boundaries (row adapters, joins, result drains).
+//
+// Vectors are immutable once published to a consumer: kernels may share a
+// vector's backing arrays across batches, so consumers must never mutate the
+// slices returned by accessors.
+package vector
+
+import (
+	"sort"
+
+	"oldelephant/internal/value"
+)
+
+// Encoding identifies the physical layout of a Vector.
+type Encoding uint8
+
+// The supported vector encodings.
+const (
+	Flat Encoding = iota
+	Const
+	RLE
+	Dict
+)
+
+// String returns the encoding name.
+func (e Encoding) String() string {
+	switch e {
+	case Flat:
+		return "flat"
+	case Const:
+		return "const"
+	case RLE:
+		return "rle"
+	case Dict:
+		return "dict"
+	default:
+		return "vector.Encoding(?)"
+	}
+}
+
+// Vector is one column of a batch. The zero value is an empty Flat vector.
+type Vector struct {
+	enc Encoding
+	n   int
+	// vals holds, depending on the encoding: the per-row values (Flat), the
+	// single value at index 0 (Const), one value per run (RLE), or the
+	// dictionary (Dict).
+	vals []value.Value
+	// ends holds the exclusive end position of each RLE run; ends[len-1] == n.
+	ends []int
+	// codes holds one dictionary index per row (Dict).
+	codes []uint32
+	// flat caches the decompressed form.
+	flat []value.Value
+}
+
+// NewFlat wraps per-row values as a Flat vector (no copy).
+func NewFlat(vals []value.Value) *Vector {
+	return &Vector{enc: Flat, n: len(vals), vals: vals, flat: vals}
+}
+
+// NewFlatCap returns an empty Flat vector with the given append capacity.
+func NewFlatCap(capacity int) *Vector {
+	vals := make([]value.Value, 0, capacity)
+	return &Vector{enc: Flat, vals: vals}
+}
+
+// NewConst returns a vector holding v repeated n times.
+func NewConst(v value.Value, n int) *Vector {
+	return &Vector{enc: Const, n: n, vals: []value.Value{v}}
+}
+
+// NewRLE builds an RLE vector from run values and exclusive run end
+// positions (ends must be strictly increasing; the last entry is the length).
+func NewRLE(runVals []value.Value, ends []int) *Vector {
+	n := 0
+	if len(ends) > 0 {
+		n = ends[len(ends)-1]
+	}
+	return &Vector{enc: RLE, n: n, vals: runVals, ends: ends}
+}
+
+// NewDict builds a dictionary vector: one code per row indexing into dict.
+func NewDict(dict []value.Value, codes []uint32) *Vector {
+	return &Vector{enc: Dict, n: len(codes), vals: dict, codes: codes}
+}
+
+// Encoding returns the vector's physical encoding.
+func (v *Vector) Encoding() Encoding { return v.enc }
+
+// Len returns the logical (row) length.
+func (v *Vector) Len() int { return v.n }
+
+// Append adds one value to a Flat vector under construction. It must not be
+// called on compressed vectors or after the vector has been shared.
+func (v *Vector) Append(x value.Value) {
+	if v.enc != Flat {
+		panic("vector: Append on a " + v.enc.String() + " vector")
+	}
+	v.vals = append(v.vals, x)
+	v.flat = v.vals
+	v.n = len(v.vals)
+}
+
+// runIndex returns the index of the run containing physical row i.
+func (v *Vector) runIndex(i int) int {
+	return sort.Search(len(v.ends), func(r int) bool { return v.ends[r] > i })
+}
+
+// Get returns the value at physical row i. For sequential access over
+// compressed vectors prefer run-wise iteration (RunEndAt) or Flat().
+func (v *Vector) Get(i int) value.Value {
+	switch v.enc {
+	case Flat:
+		return v.vals[i]
+	case Const:
+		return v.vals[0]
+	case RLE:
+		return v.vals[v.runIndex(i)]
+	default: // Dict
+		return v.vals[v.codes[i]]
+	}
+}
+
+// RunEndAt returns the exclusive end of the maximal region starting at (and
+// containing) row i that is known to hold a single repeated value. Flat
+// vectors make no such promise and return i+1; Dict vectors extend over
+// adjacent equal codes, RLE over the containing run, Const over everything.
+// Run-aware consumers (aggregates) use this to process (value, count) pairs.
+func (v *Vector) RunEndAt(i int) int {
+	switch v.enc {
+	case Const:
+		return v.n
+	case RLE:
+		return v.ends[v.runIndex(i)]
+	case Dict:
+		c := v.codes[i]
+		j := i + 1
+		for j < v.n && v.codes[j] == c {
+			j++
+		}
+		return j
+	default:
+		return i + 1
+	}
+}
+
+// Flat returns the decompressed per-row values, materializing and caching
+// them on first use. Callers must treat the result as read-only.
+func (v *Vector) Flat() []value.Value {
+	if v.flat != nil || v.n == 0 {
+		return v.flat
+	}
+	out := make([]value.Value, v.n)
+	switch v.enc {
+	case Const:
+		c := v.vals[0]
+		for i := range out {
+			out[i] = c
+		}
+	case RLE:
+		pos := 0
+		for r, end := range v.ends {
+			rv := v.vals[r]
+			for ; pos < end; pos++ {
+				out[pos] = rv
+			}
+		}
+	case Dict:
+		for i, c := range v.codes {
+			out[i] = v.vals[c]
+		}
+	}
+	v.flat = out
+	return out
+}
+
+// ConstValue returns the repeated value of a Const vector.
+func (v *Vector) ConstValue() value.Value { return v.vals[0] }
+
+// RunValues returns the per-run values of an RLE vector.
+func (v *Vector) RunValues() []value.Value { return v.vals }
+
+// RunEnds returns the exclusive end positions of an RLE vector's runs.
+func (v *Vector) RunEnds() []int { return v.ends }
+
+// DictValues returns the dictionary of a Dict vector.
+func (v *Vector) DictValues() []value.Value { return v.vals }
+
+// Codes returns the per-row dictionary codes of a Dict vector.
+func (v *Vector) Codes() []uint32 { return v.codes }
+
+// Map applies f to every distinct stored value, preserving the encoding: a
+// Const vector maps its single value, RLE maps one value per run, Dict maps
+// the dictionary, and Flat maps row-wise (only rows listed in sel when sel is
+// non-nil; other entries of a Flat result are unspecified). It is the
+// compression-preserving evaluation primitive behind the expression kernels.
+func (v *Vector) Map(f func(value.Value) (value.Value, error), sel []int) (*Vector, error) {
+	mapVals := func(in []value.Value) ([]value.Value, error) {
+		out := make([]value.Value, len(in))
+		for i, x := range in {
+			y, err := f(x)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = y
+		}
+		return out, nil
+	}
+	switch v.enc {
+	case Const:
+		y, err := f(v.vals[0])
+		if err != nil {
+			return nil, err
+		}
+		return NewConst(y, v.n), nil
+	case RLE:
+		out, err := mapVals(v.vals)
+		if err != nil {
+			return nil, err
+		}
+		return NewRLE(out, v.ends), nil
+	case Dict:
+		out, err := mapVals(v.vals)
+		if err != nil {
+			return nil, err
+		}
+		return NewDict(out, v.codes), nil
+	default:
+		out := make([]value.Value, v.n)
+		if sel == nil {
+			for i, x := range v.vals {
+				y, err := f(x)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = y
+			}
+		} else {
+			for _, i := range sel {
+				y, err := f(v.vals[i])
+				if err != nil {
+					return nil, err
+				}
+				out[i] = y
+			}
+		}
+		return NewFlat(out), nil
+	}
+}
+
+// Compress run-encodes per-row values when that pays off: a single run
+// becomes a Const vector, few runs become RLE, and anything else is returned
+// as a Flat vector sharing vals. The threshold (runs <= rows/2) keeps the
+// compressed form strictly smaller than the flat one. Scans use it on
+// sort-prefix columns, where the clustered order makes long runs likely.
+func Compress(vals []value.Value) *Vector {
+	n := len(vals)
+	if n == 0 {
+		return NewFlat(vals)
+	}
+	var runVals []value.Value
+	var ends []int
+	cur := vals[0]
+	for i := 1; i < n; i++ {
+		if !value.Equal(vals[i], cur) {
+			runVals = append(runVals, cur)
+			ends = append(ends, i)
+			cur = vals[i]
+			if 2*len(ends) > n {
+				return NewFlat(vals) // too many runs: give up early
+			}
+		}
+	}
+	runVals = append(runVals, cur)
+	ends = append(ends, n)
+	if len(ends) == 1 {
+		return NewConst(cur, n)
+	}
+	v := NewRLE(runVals, ends)
+	v.flat = vals // the flat form is already in hand; cache it for free
+	return v
+}

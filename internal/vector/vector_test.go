@@ -1,0 +1,186 @@
+package vector
+
+import (
+	"testing"
+
+	"oldelephant/internal/value"
+)
+
+// sampleData is row-wise data with runs, few distinct values and a NULL.
+func sampleData() []value.Value {
+	var out []value.Value
+	for _, spec := range []struct {
+		v    value.Value
+		reps int
+	}{
+		{value.NewInt(3), 4},
+		{value.NewInt(7), 1},
+		{value.Null(), 2},
+		{value.NewInt(3), 3},
+	} {
+		for i := 0; i < spec.reps; i++ {
+			out = append(out, spec.v)
+		}
+	}
+	return out
+}
+
+// encodings builds the same logical data in every representable encoding.
+func encodings(vals []value.Value) map[string]*Vector {
+	out := map[string]*Vector{
+		"flat":     NewFlat(append([]value.Value(nil), vals...)),
+		"compress": Compress(append([]value.Value(nil), vals...)),
+	}
+	// Hand-built RLE: the exclusive end of each run tracks the last row seen.
+	var runVals []value.Value
+	var ends []int
+	for i, v := range vals {
+		last := len(runVals) - 1
+		if last < 0 || v.Kind != runVals[last].Kind || value.Compare(v, runVals[last]) != 0 {
+			runVals = append(runVals, v)
+			ends = append(ends, i+1)
+		} else {
+			ends[len(ends)-1] = i + 1
+		}
+	}
+	out["rle"] = NewRLE(runVals, ends)
+	// Dictionary.
+	var dict []value.Value
+	codes := make([]uint32, len(vals))
+	index := map[string]uint32{}
+	for i, v := range vals {
+		key := v.Kind.String() + "|" + v.String()
+		c, ok := index[key]
+		if !ok {
+			c = uint32(len(dict))
+			index[key] = c
+			dict = append(dict, v)
+		}
+		codes[i] = c
+	}
+	out["dict"] = NewDict(dict, codes)
+	return out
+}
+
+// TestEncodingsAgree: Get, Flat and Len agree across every encoding of the
+// same data.
+func TestEncodingsAgree(t *testing.T) {
+	vals := sampleData()
+	for name, v := range encodings(vals) {
+		if v.Len() != len(vals) {
+			t.Fatalf("%s: Len = %d, want %d", name, v.Len(), len(vals))
+		}
+		flat := v.Flat()
+		for i, want := range vals {
+			if got := v.Get(i); got.Kind != want.Kind || value.Compare(got, want) != 0 {
+				t.Errorf("%s: Get(%d) = %v, want %v", name, i, got, want)
+			}
+			if got := flat[i]; got.Kind != want.Kind || value.Compare(got, want) != 0 {
+				t.Errorf("%s: Flat()[%d] = %v, want %v", name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestRunEndAt: the constant-region promise holds for every encoding — all
+// positions in [i, RunEndAt(i)) carry Get(i)'s value.
+func TestRunEndAt(t *testing.T) {
+	vals := sampleData()
+	for name, v := range encodings(vals) {
+		for i := 0; i < v.Len(); i++ {
+			end := v.RunEndAt(i)
+			if end <= i || end > v.Len() {
+				t.Fatalf("%s: RunEndAt(%d) = %d out of range", name, i, end)
+			}
+			want := v.Get(i)
+			for j := i; j < end; j++ {
+				got := v.Get(j)
+				if got.Kind != want.Kind || value.Compare(got, want) != 0 {
+					t.Fatalf("%s: run [%d,%d) not constant: Get(%d)=%v, Get(%d)=%v", name, i, end, i, want, j, got)
+				}
+			}
+		}
+	}
+	// Const covers everything in one run.
+	c := NewConst(value.NewInt(9), 5)
+	if c.RunEndAt(2) != 5 {
+		t.Errorf("Const RunEndAt(2) = %d, want 5", c.RunEndAt(2))
+	}
+}
+
+// TestCompressChoosesEncoding pins the Compress thresholds: one run becomes
+// Const, few runs become RLE, unique values stay Flat.
+func TestCompressChoosesEncoding(t *testing.T) {
+	constVals := make([]value.Value, 10)
+	for i := range constVals {
+		constVals[i] = value.NewInt(42)
+	}
+	if enc := Compress(constVals).Encoding(); enc != Const {
+		t.Errorf("constant column compressed to %v, want Const", enc)
+	}
+	if enc := Compress(sampleData()).Encoding(); enc != RLE {
+		t.Errorf("runny column compressed to %v, want RLE", enc)
+	}
+	unique := make([]value.Value, 10)
+	for i := range unique {
+		unique[i] = value.NewInt(int64(i))
+	}
+	if enc := Compress(unique).Encoding(); enc != Flat {
+		t.Errorf("unique column compressed to %v, want Flat", enc)
+	}
+	if enc := Compress(nil).Encoding(); enc != Flat {
+		t.Errorf("empty column compressed to %v, want Flat", enc)
+	}
+}
+
+// TestMapPreservesEncoding: Map keeps the encoding and applies f to every
+// distinct stored value.
+func TestMapPreservesEncoding(t *testing.T) {
+	double := func(v value.Value) (value.Value, error) { return value.Mul(v, value.NewInt(2)), nil }
+	vals := sampleData()
+	for name, v := range encodings(vals) {
+		mapped, err := v.Map(double, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapped.Encoding() != v.Encoding() {
+			t.Errorf("%s: Map changed encoding %v -> %v", name, v.Encoding(), mapped.Encoding())
+		}
+		for i, orig := range vals {
+			want, _ := double(orig)
+			got := mapped.Get(i)
+			if got.Kind != want.Kind || value.Compare(got, want) != 0 {
+				t.Errorf("%s: Map Get(%d) = %v, want %v", name, i, got, want)
+			}
+		}
+	}
+	// Flat Map under a selection only touches selected rows.
+	flat := NewFlat(sampleData())
+	sel := []int{0, 5}
+	calls := 0
+	if _, err := flat.Map(func(v value.Value) (value.Value, error) {
+		calls++
+		return v, nil
+	}, sel); err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(sel) {
+		t.Errorf("Flat Map under sel evaluated %d rows, want %d", calls, len(sel))
+	}
+}
+
+// TestAppendFlatOnly: Append grows flat vectors and panics on compressed ones.
+func TestAppendFlatOnly(t *testing.T) {
+	v := NewFlatCap(4)
+	v.Append(value.NewInt(1))
+	v.Append(value.NewInt(2))
+	if v.Len() != 2 || v.Get(1).Int() != 2 {
+		t.Fatalf("appended vector = len %d", v.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Append on a Const vector did not panic")
+		}
+	}()
+	NewConst(value.NewInt(1), 3).Append(value.NewInt(2))
+}
