@@ -53,6 +53,12 @@ type Options struct {
 	// Compressed execution is the default; the knob exists for differential
 	// testing and flat-vs-compressed comparisons.
 	DisableCompressed bool
+	// Parallelism is the worker count for morsel-parallel execution of
+	// vectorized plans. 0 selects runtime.GOMAXPROCS(0) — the default — and
+	// 1 forces serial execution, reproducing single-threaded plans byte for
+	// byte. See the README's "Parallel execution" section for the morsel
+	// model and its determinism guarantees.
+	Parallelism int
 }
 
 // Open creates an empty database.
@@ -66,6 +72,7 @@ func Open(opts Options) *DB {
 		Vectorized:        opts.Vectorized,
 		DisableVectorized: opts.DisableVectorized,
 		DisableCompressed: opts.DisableCompressed,
+		Parallelism:       opts.Parallelism,
 	})
 	return &DB{Engine: e, views: matview.NewManager(e)}
 }

@@ -3,12 +3,41 @@ package bench
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"oldelephant/internal/exec"
 	"oldelephant/internal/value"
 )
+
+// harnessCache memoizes the expensive TPC-H harness builds across the
+// differential tests; every cached harness holds identical deterministic
+// data and is only ever queried, never mutated.
+var (
+	harnessCacheMu sync.Mutex
+	harnessCache   = map[string]*Harness{}
+)
+
+func cachedHarness(t *testing.T, mutate func(*Config)) *Harness {
+	t.Helper()
+	cfg := DefaultConfig()
+	mutate(&cfg)
+	key := fmt.Sprintf("vec=%v comp=%v par=%d", !cfg.DisableVectorized, !cfg.DisableCompressed, cfg.Parallelism)
+	harnessCacheMu.Lock()
+	defer harnessCacheMu.Unlock()
+	if h, ok := harnessCache[key]; ok {
+		return h
+	}
+	h, err := NewHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harnessCache[key] = h
+	return h
+}
 
 // executorModes are the three executor configurations the differential tests
 // hold against each other: row-at-a-time Volcano, batch execution on flat
@@ -16,19 +45,10 @@ import (
 // default.
 func executorModes(t *testing.T) map[string]*Harness {
 	t.Helper()
-	build := func(mutate func(*Config)) *Harness {
-		cfg := DefaultConfig()
-		mutate(&cfg)
-		h, err := NewHarness(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return h
-	}
 	modes := map[string]*Harness{
-		"row":               build(func(c *Config) { c.DisableVectorized = true }),
-		"flat-vector":       build(func(c *Config) { c.DisableCompressed = true }),
-		"compressed-vector": build(func(c *Config) {}),
+		"row":               cachedHarness(t, func(c *Config) { c.DisableVectorized = true }),
+		"flat-vector":       cachedHarness(t, func(c *Config) { c.DisableCompressed = true }),
+		"compressed-vector": cachedHarness(t, func(c *Config) {}),
 	}
 	// Pin the knob contract so a misconfigured harness cannot silently turn
 	// the three axes into one.
@@ -44,16 +64,57 @@ func executorModes(t *testing.T) map[string]*Harness {
 	return modes
 }
 
+// parallelismAxis is the worker-count sweep of the parallel differential
+// tests: serial, two workers, and GOMAXPROCS workers (deduplicated, so on a
+// small machine the axis never shrinks below {1, 2}).
+func parallelismAxis() []int {
+	axis := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		axis = append(axis, p)
+	}
+	return axis
+}
+
+// parallelModes extends executorModes with the parallelism axis: for every
+// worker count in the sweep, a flat-vector and a compressed-vector harness
+// whose engine (and ColOpt plans) run morsel-parallel.
+func parallelModes(t *testing.T) (modes map[string]*Harness, parallel []string) {
+	t.Helper()
+	modes = executorModes(t)
+	for _, p := range parallelismAxis() {
+		if p == 1 {
+			continue // the serial harnesses above
+		}
+		p := p
+		flat := fmt.Sprintf("flat-vector-p%d", p)
+		comp := fmt.Sprintf("compressed-vector-p%d", p)
+		modes[flat] = cachedHarness(t, func(c *Config) { c.DisableCompressed = true; c.Parallelism = p })
+		modes[comp] = cachedHarness(t, func(c *Config) { c.Parallelism = p })
+		if got := modes[comp].Engine.Parallelism(); got != p {
+			t.Fatalf("parallel harness engine runs %d workers, want %d", got, p)
+		}
+		parallel = append(parallel, flat, comp)
+	}
+	sort.Strings(parallel)
+	return modes, parallel
+}
+
 // TestVectorizedRowDifferential is the result-identity proof for the
-// vectorized executor across all three executor modes: every workload query
-// (Q1-Q7), under every row-engine strategy (Row, Row(MV), Row(Col)) and
-// every swept selectivity, must return exactly the same rows — same values,
-// same order — from the row engine, the flat-vector engine and the
-// compressed-vector engine.
+// vectorized executor across every executor mode and the parallelism axis:
+// every workload query (Q1-Q7), under every row-engine strategy (Row,
+// Row(MV), Row(Col)) and every swept selectivity, must return the same
+// result set from the row engine, the flat-vector engine and the
+// compressed-vector engine — serially and with 2 and GOMAXPROCS morsel
+// workers. Serial modes must match exactly (same values, same order);
+// parallel modes compare as sorted row sets with a 1e-9 relative float
+// tolerance, because parallel partial aggregates fold float sums in morsel
+// order (every workload query is unordered — ORDER BY/LIMIT plans are
+// covered exact-order by TestParallelOrderByLimitExactOrder).
 func TestVectorizedRowDifferential(t *testing.T) {
-	modes := executorModes(t)
+	modes, parallel := parallelModes(t)
 	ref := modes["row"]
-	others := []string{"flat-vector", "compressed-vector"}
+	exact := []string{"flat-vector", "compressed-vector"}
+	others := append(append([]string{}, exact...), parallel...)
 
 	strategies := []Strategy{StrategyRow, StrategyRowMV, StrategyRowCol}
 	compared := 0
@@ -87,10 +148,17 @@ func TestVectorizedRowDifferential(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s %s %s: %v\nSQL: %s", q, s, name, err, sqlText)
 					}
-					if vres.Plan != rres.Plan {
+					// Parallel engines annotate the plan they actually ran
+					// with a " [parallel N]" suffix; underneath it the
+					// planner's choice must be identical to the row engine's.
+					if stripParallelSuffix(vres.Plan) != rres.Plan {
 						t.Errorf("%s %s sel=%v: %s plan differs:\n%s\n%s", q, s, sel, name, vres.Plan, rres.Plan)
 					}
-					if got, want := formatRows(vres.Rows), formatRows(rres.Rows); got != want {
+					if isParallelMode(name, parallel) {
+						if msg := sortedRowsApproxEqual(vres.Rows, rres.Rows); msg != "" {
+							t.Errorf("%s %s sel=%v: %s results differ from row engine: %s", q, s, sel, name, msg)
+						}
+					} else if got, want := formatRows(vres.Rows), formatRows(rres.Rows); got != want {
 						t.Errorf("%s %s sel=%v: %s results differ\n%s (%d rows):\n%s\nrow (%d rows):\n%s",
 							q, s, sel, name, name, len(vres.Rows), clip(got), len(rres.Rows), clip(want))
 					}
@@ -99,10 +167,50 @@ func TestVectorizedRowDifferential(t *testing.T) {
 			}
 		}
 	}
-	if compared < 2*3*7 {
+	// Floor: 7 queries × 3 strategies × (2 serial + at least 2 parallel) modes.
+	if compared < 7*3*4 {
 		t.Fatalf("only %d (query, strategy, selectivity, mode) points compared", compared)
 	}
 	t.Logf("compared %d (query, strategy, selectivity, mode) points", compared)
+}
+
+// stripParallelSuffix drops the " [parallel N]" annotation a parallel engine
+// appends to the plan it executed.
+func stripParallelSuffix(plan string) string {
+	if i := strings.LastIndex(plan, " [parallel "); i >= 0 && strings.HasSuffix(plan, "]") {
+		return plan[:i]
+	}
+	return plan
+}
+
+func isParallelMode(name string, parallel []string) bool {
+	for _, p := range parallel {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedRowsApproxEqual compares two result sets as sets: both sides are
+// sorted by a canonical full-row order, then compared with rowsApproxEqual's
+// float tolerance. Rows are copied, never mutated in place.
+func sortedRowsApproxEqual(got, want []exec.Row) string {
+	return rowsApproxEqual(sortRowsCanonical(got), sortRowsCanonical(want))
+}
+
+func sortRowsCanonical(rows []exec.Row) []exec.Row {
+	out := append([]exec.Row(nil), rows...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for c := 0; c < len(a) && c < len(b); c++ {
+			if cmp := value.Compare(a[c], b[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
 }
 
 // TestColOptExecutorDifferential proves the acceptance property for ColOpt:

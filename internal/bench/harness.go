@@ -83,6 +83,12 @@ type Config struct {
 	// vectors and the ColOpt projection scan decompresses its segments. Used
 	// for differential testing and the flat-vs-compressed microbenchmarks.
 	DisableCompressed bool
+	// Parallelism is the morsel-parallel worker count applied to both the
+	// engine's SQL plans and the ColOpt executor plans. 0 keeps the harness
+	// serial (unlike the engine's GOMAXPROCS default: measurements compare
+	// against the paper's single-core setting unless parallelism is asked
+	// for); values > 1 enable parallel execution.
+	Parallelism int
 }
 
 // DefaultConfig returns the configuration used by the checked-in benchmarks.
@@ -125,10 +131,14 @@ func NewHarness(cfg Config) (*Harness, error) {
 	if cfg.SF <= 0 {
 		cfg.SF = DefaultConfig().SF
 	}
+	if cfg.Parallelism < 1 {
+		cfg.Parallelism = 1
+	}
 	e := engine.New(engine.Options{
 		TupleOverhead:     cfg.TupleOverhead,
 		DisableVectorized: cfg.DisableVectorized,
 		DisableCompressed: cfg.DisableCompressed,
+		Parallelism:       cfg.Parallelism,
 	})
 	gen := tpch.NewGenerator(cfg.SF)
 	if err := gen.LoadCore(e); err != nil {

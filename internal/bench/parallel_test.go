@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"oldelephant/internal/engine"
+	"oldelephant/internal/exec"
+	"oldelephant/internal/plan"
+)
+
+// Parallel-executor proofs and scaling benchmarks. The differential axis
+// (row vs flat vs compressed × serial vs parallel) lives in
+// TestVectorizedRowDifferential; this file adds what that matrix cannot see:
+// bit-level determinism across repeated parallel runs, exact ordering for
+// ORDER BY/LIMIT plans, the parallel ColOpt path, and the worker-count
+// scaling microbenchmark.
+
+// parallelItemsEngine caches items-table engines per worker count.
+var (
+	parItemsMu  sync.Mutex
+	parItemsEng = map[int]*engine.Engine{}
+)
+
+func parallelItemsEngine(tb testing.TB, workers int) *engine.Engine {
+	tb.Helper()
+	parItemsMu.Lock()
+	defer parItemsMu.Unlock()
+	if e, ok := parItemsEng[workers]; ok {
+		return e
+	}
+	e, err := newItemsEngine(engine.Options{Parallelism: workers})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	parItemsEng[workers] = e
+	return e
+}
+
+// TestParallelDeterminism runs every workload query 25 times on the
+// parallel harnesses and requires bit-identical results each iteration —
+// including float aggregates, which the morsel-order merge makes
+// reproducible even though workers race for morsels. Covers both the SQL
+// engine path (Row strategy) and the compressed ColOpt executor path. Run
+// under -race in CI (the workload below is exactly what the parallel
+// operators do concurrently).
+func TestParallelDeterminism(t *testing.T) {
+	const iterations = 25
+	modes, parallel := parallelModes(t)
+	for _, mode := range parallel {
+		h := modes[mode]
+		for _, q := range Queries() {
+			spec := h.specs()[q]
+			_, query, _, _ := spec.resolve(h, defaultSelectivity)
+			var wantSQL, wantCol string
+			for i := 0; i < iterations; i++ {
+				res, err := h.Engine.Query(query)
+				if err != nil {
+					t.Fatalf("%s %s iter %d: %v", mode, q, i, err)
+				}
+				got := formatRows(res.Rows)
+				op, err := h.ColOptOperator(q, defaultSelectivity)
+				if err != nil {
+					t.Fatalf("%s %s iter %d: ColOpt plan: %v", mode, q, i, err)
+				}
+				colRows, err := exec.DrainBatches(op)
+				if err != nil {
+					t.Fatalf("%s %s iter %d: ColOpt execution: %v", mode, q, i, err)
+				}
+				gotCol := formatRows(colRows)
+				if i == 0 {
+					wantSQL, wantCol = got, gotCol
+					continue
+				}
+				if got != wantSQL {
+					t.Fatalf("%s %s: SQL results diverged between iterations 0 and %d:\n%s\nvs\n%s",
+						mode, q, i, clip(wantSQL), clip(got))
+				}
+				if gotCol != wantCol {
+					t.Fatalf("%s %s: ColOpt results diverged between iterations 0 and %d:\n%s\nvs\n%s",
+						mode, q, i, clip(wantCol), clip(gotCol))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelColOptMatchesSerial: the morsel-parallel ColOpt plan — the
+// projection scan partitioned into compressed row windows — returns the
+// serial compressed plan's result set for every workload query (float sums
+// within 1e-9 relative; compressed morsels fold runs in morsel order).
+func TestParallelColOptMatchesSerial(t *testing.T) {
+	modes, parallel := parallelModes(t)
+	serial := modes["compressed-vector"]
+	for _, mode := range parallel {
+		h := modes[mode]
+		if h.Config.DisableCompressed {
+			continue
+		}
+		for _, q := range Queries() {
+			sop, err := serial.ColOptOperator(q, defaultSelectivity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := exec.DrainBatches(sop)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pop, err := h.ColOptOperator(q, defaultSelectivity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := exec.DrainBatches(pop)
+			if err != nil {
+				t.Fatalf("%s %s: parallel ColOpt execution: %v", mode, q, err)
+			}
+			if msg := rowsApproxEqual(got, want); msg != "" {
+				t.Errorf("%s %s: parallel ColOpt differs from serial: %s", mode, q, msg)
+			}
+		}
+	}
+}
+
+// TestParallelOrderByLimitExactOrder holds parallel plans that promise exact
+// ordering to that promise: non-aggregating pipelines (ParallelMerge
+// reassembles morsel order) and ORDER BY/LIMIT plans (ParallelSort's K-way
+// merge reproduces the serial stable sort, ties included) must match the
+// serial engine byte for byte — no sorted-set weakening, no tolerance. The
+// probed rows come straight from the scan, so even float columns must be
+// bit-identical.
+func TestParallelOrderByLimitExactOrder(t *testing.T) {
+	serial := parallelItemsEngine(t, 1)
+	probes := []string{
+		// ParallelMerge: filter pipeline, morsel-order reassembly.
+		"SELECT id, supp, price FROM items WHERE price > 950",
+		// ParallelSort under a serial Limit.
+		"SELECT id, supp, price FROM items WHERE price > 600 ORDER BY price DESC, id LIMIT 100",
+		// Heavy duplication on the sort key: stability across morsel seams.
+		"SELECT supp, price FROM items WHERE price < 150 ORDER BY supp LIMIT 500",
+		// ORDER BY the full scan with OFFSET pagination over the merge.
+		"SELECT supp, id FROM items ORDER BY supp, id LIMIT 50 OFFSET 1000",
+	}
+	for _, workers := range []int{2, 4} {
+		par := parallelItemsEngine(t, workers)
+		for _, q := range probes {
+			want, err := serial.Query(q)
+			if err != nil {
+				t.Fatalf("serial %q: %v", q, err)
+			}
+			got, err := par.Query(q)
+			if err != nil {
+				t.Fatalf("P=%d %q: %v", workers, q, err)
+			}
+			if g, w := formatRows(got.Rows), formatRows(want.Rows); g != w {
+				t.Errorf("P=%d %q: exact order broken\nparallel (%d rows):\n%s\nserial (%d rows):\n%s",
+					workers, q, len(got.Rows), clip(g), len(want.Rows), clip(w))
+			}
+		}
+		// Aggregates compare with tolerance (float partials fold in morsel
+		// order) but the group order must still be exact.
+		agg := "SELECT supp, COUNT(*), SUM(price) FROM items WHERE ship > DATE '1995-03-01' GROUP BY supp"
+		want, err := serial.Query(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.Query(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := rowsApproxEqual(got.Rows, want.Rows); msg != "" {
+			t.Errorf("P=%d aggregate differs (order-sensitive compare): %s", workers, msg)
+		}
+	}
+}
+
+// TestParallelSerialKnobIdentity pins the Options.Parallelism contract: 1
+// (and the row engine, always) runs the serial plans; 0 resolves to
+// GOMAXPROCS; the harness default stays serial.
+func TestParallelSerialKnobIdentity(t *testing.T) {
+	if got := parallelItemsEngine(t, 1).Parallelism(); got != 1 {
+		t.Errorf("Parallelism(1) engine reports %d workers", got)
+	}
+	e := engine.New(engine.Options{TupleOverhead: -1})
+	if got, want := e.Parallelism(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("default engine reports %d workers, want GOMAXPROCS=%d", got, want)
+	}
+	row := engine.New(engine.Options{TupleOverhead: -1, DisableVectorized: true, Parallelism: 8})
+	if got := row.Parallelism(); got != 1 {
+		t.Errorf("row engine reports %d workers, want 1 (row path is always serial)", got)
+	}
+	h := cachedHarness(t, func(c *Config) {})
+	if got := h.Engine.Parallelism(); got != 1 {
+		t.Errorf("default harness engine reports %d workers, want 1", got)
+	}
+}
+
+// benchParallelColOptPlan is benchColOptPlan after the morsel-parallel
+// rewrite: the same scan → filter → aggregate over the 150k-row compressed
+// projection, split into row-window morsels for the given worker count.
+func benchParallelColOptPlan(tb testing.TB, flat bool, workers int) exec.BatchOperator {
+	tb.Helper()
+	root, _ := plan.Parallelize(exec.AsRowOperator(benchColOptPlan(tb, flat)), workers)
+	return exec.AsBatchOperator(root)
+}
+
+// BenchmarkParallelScanFilterAgg is the worker-count scaling benchmark on
+// the 150k-row scan-filter-aggregate: the flat-vector SQL path
+// (SeqScan morsels over B-tree leaf ranges) and the compressed ColOpt path
+// (projection row-window morsels), each at 1/2/4/8 workers.
+//
+//	go test ./internal/bench -bench ParallelScanFilterAgg
+func BenchmarkParallelScanFilterAgg(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("flat/workers-%d", workers), func(b *testing.B) {
+			e := parallelItemsEngine(b, workers)
+			runQueryBench(b, e, scanFilterAggSQL)
+		})
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("compressed/workers-%d", workers), func(b *testing.B) {
+			rowsOut := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, err := exec.DrainBatches(benchParallelColOptPlan(b, false, workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rowsOut = len(rows)
+			}
+			b.StopTimer()
+			if rowsOut == 0 {
+				b.Fatal("benchmark plan returned no rows")
+			}
+			b.ReportMetric(float64(benchRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// TestParallelScalingPlansAgree keeps the scaling benchmark honest: every
+// worker count must return the serial engine's rows for the benchmarked
+// query and plan.
+func TestParallelScalingPlansAgree(t *testing.T) {
+	want, err := parallelItemsEngine(t, 1).Query(scanFilterAggSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Rows) == 0 {
+		t.Fatal("benchmark query returned no rows")
+	}
+	wantCol, err := exec.DrainBatches(benchColOptPlan(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := parallelItemsEngine(t, workers).Query(scanFilterAggSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := rowsApproxEqual(got.Rows, want.Rows); msg != "" {
+			t.Errorf("workers=%d: SQL scaling plan differs from serial: %s", workers, msg)
+		}
+		gotCol, err := exec.DrainBatches(benchParallelColOptPlan(t, false, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := rowsApproxEqual(gotCol, wantCol); msg != "" {
+			t.Errorf("workers=%d: ColOpt scaling plan differs from serial: %s", workers, msg)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"oldelephant/internal/core/rewrite"
 	"oldelephant/internal/exec"
 	"oldelephant/internal/expr"
+	"oldelephant/internal/plan"
 	"oldelephant/internal/storage"
 	"oldelephant/internal/value"
 )
@@ -209,7 +210,12 @@ func (h *Harness) colOptOperator(spec querySpec, param value.Value) (exec.BatchO
 		}
 		agg.Arg = expr.NewColumn(aIdx, cp.aggArg)
 	}
-	return exec.NewHashAggregate(filtered, []int{gIdx}, []exec.AggSpec{agg}), nil
+	root := exec.Operator(exec.NewHashAggregate(filtered, []int{gIdx}, []exec.AggSpec{agg}))
+	// The ColOpt plan rides the same morsel-parallel rewrite as SQL plans:
+	// the projection scan partitions into compressed row windows, so RLE and
+	// dictionary morsels cross worker boundaries without decompressing.
+	root, _ = plan.Parallelize(root, h.Config.Parallelism)
+	return exec.AsBatchOperator(root), nil
 }
 
 // fraction computes the fraction of a projection's rows whose leading sort

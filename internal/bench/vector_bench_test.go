@@ -27,35 +27,43 @@ var (
 	benchLoadErr error
 )
 
+// newItemsEngine builds an engine holding the 150k-row items table under the
+// given executor options. Shared by the row-vs-batch benchmarks and the
+// parallel scaling benchmarks/tests.
+func newItemsEngine(opts engine.Options) (*engine.Engine, error) {
+	opts.TupleOverhead = -1
+	e := engine.New(opts)
+	_, err := e.Execute("CREATE TABLE items (id INT, supp INT, ship DATE, price FLOAT, PRIMARY KEY (id))")
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]value.Value, benchRows)
+	base := value.MustParseDate("1995-01-01").Int()
+	for i := range rows {
+		rows[i] = []value.Value{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i % 100)),
+			value.NewDate(base + int64(i%365)),
+			value.NewFloat(float64(100 + i%1000)),
+		}
+	}
+	if err := e.BulkLoad("items", rows); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
 // benchEngines builds two engines (vectorized and row-at-a-time) holding an
 // identical 150k-row table. The load happens once per process.
 func benchEngines(tb testing.TB) (vec, row *engine.Engine) {
 	tb.Helper()
 	benchOnce.Do(func() {
-		build := func(disable bool) (*engine.Engine, error) {
-			e := engine.New(engine.Options{TupleOverhead: -1, DisableVectorized: disable})
-			_, err := e.Execute("CREATE TABLE items (id INT, supp INT, ship DATE, price FLOAT, PRIMARY KEY (id))")
-			if err != nil {
-				return nil, err
-			}
-			rows := make([][]value.Value, benchRows)
-			base := value.MustParseDate("1995-01-01").Int()
-			for i := range rows {
-				rows[i] = []value.Value{
-					value.NewInt(int64(i)),
-					value.NewInt(int64(i % 100)),
-					value.NewDate(base + int64(i%365)),
-					value.NewFloat(float64(100 + i%1000)),
-				}
-			}
-			if err := e.BulkLoad("items", rows); err != nil {
-				return nil, err
-			}
-			return e, nil
-		}
-		benchVecEng, benchLoadErr = build(false)
+		// Parallelism pinned to 1: these benchmarks are the serial
+		// row-vs-batch comparison; the scaling benchmarks build their own
+		// parallel engines.
+		benchVecEng, benchLoadErr = newItemsEngine(engine.Options{Parallelism: 1})
 		if benchLoadErr == nil {
-			benchRowEng, benchLoadErr = build(true)
+			benchRowEng, benchLoadErr = newItemsEngine(engine.Options{DisableVectorized: true, Parallelism: 1})
 		}
 	})
 	if benchLoadErr != nil {

@@ -21,6 +21,9 @@ type BTree struct {
 	height   int
 	count    int64
 	overhead int // per-leaf-entry overhead bytes, emulating the row header
+	// leafCache memoizes LeafPages so morsel partitioning does not re-walk
+	// the leaf chain on every query; any structural mutation invalidates it.
+	leafCache []storage.PageID
 }
 
 // entry is one (key, payload) pair inside a node. In internal nodes the
@@ -171,6 +174,7 @@ func (t *BTree) Insert(key, val []byte) error {
 	if len(key)+len(val) > usableBytes/4 {
 		return fmt.Errorf("btree: entry of %d bytes is too large", len(key)+len(val))
 	}
+	t.leafCache = nil
 	promoted, newChild, err := t.insertInto(t.root, key, val)
 	if err != nil {
 		return err
@@ -296,6 +300,7 @@ func lowerBound(entries []entry, key []byte) int {
 // removed. Nodes are not rebalanced: the workload is read-mostly and
 // underfull nodes only waste space, never correctness.
 func (t *BTree) Delete(key []byte) bool {
+	t.leafCache = nil
 	id := t.leafFor(key)
 	for id != storage.InvalidPageID {
 		pg := t.pager.Get(id)
@@ -367,6 +372,10 @@ type Iterator struct {
 	stopKey  []byte // exclusive upper bound when stopExcl, inclusive otherwise
 	stopIncl bool
 	done     bool
+	// leavesLeft bounds how many further leaf pages the iterator may load
+	// (-1 = unbounded). Leaf-range iterators (ScanLeaves) use it to stop at
+	// their partition boundary instead of a key.
+	leavesLeft int
 }
 
 // Key returns the current entry's key. Valid only after Next reported true.
@@ -393,9 +402,12 @@ func (it *Iterator) Next() bool {
 			it.pos++
 			return true
 		}
-		if it.leaf == storage.InvalidPageID {
+		if it.leaf == storage.InvalidPageID || it.leavesLeft == 0 {
 			it.done = true
 			return false
+		}
+		if it.leavesLeft > 0 {
+			it.leavesLeft--
 		}
 		pg := it.tree.pager.Get(it.leaf)
 		_, entries, extra := readNode(pg)
@@ -411,13 +423,40 @@ func (it *Iterator) Next() bool {
 
 // Scan returns an iterator over the whole tree in key order.
 func (t *BTree) Scan() *Iterator {
-	return &Iterator{tree: t, leaf: t.firstLeaf()}
+	return &Iterator{tree: t, leaf: t.firstLeaf(), leavesLeft: -1}
+}
+
+// LeafPages returns the ids of every leaf page in chain (key) order. It is
+// how parallel scans partition a tree into morsels: each morsel is a run of
+// consecutive leaves handed to ScanLeaves. The chain walk is memoized until
+// the next structural mutation, so repeated queries do not re-pay it.
+// Callers must treat the result as read-only.
+func (t *BTree) LeafPages() []storage.PageID {
+	if t.leafCache != nil {
+		return t.leafCache
+	}
+	var out []storage.PageID
+	for id := t.firstLeaf(); id != storage.InvalidPageID; {
+		out = append(out, id)
+		pg := t.pager.Get(id)
+		_, _, extra := readNode(pg)
+		id = storage.PageID(extra)
+	}
+	t.leafCache = out
+	return out
+}
+
+// ScanLeaves returns an iterator over the entries of count consecutive leaf
+// pages starting at start (a page id from LeafPages). Concatenating the
+// iterators of a partition of the leaf chain reproduces Scan exactly.
+func (t *BTree) ScanLeaves(start storage.PageID, count int) *Iterator {
+	return &Iterator{tree: t, leaf: start, leavesLeft: count}
 }
 
 // Seek returns an iterator positioned at the first entry with key >= start.
 // If stop is non-nil the iteration ends at stop (inclusive when stopIncl).
 func (t *BTree) Seek(start, stop []byte, stopIncl bool) *Iterator {
-	it := &Iterator{tree: t, stopKey: stop, stopIncl: stopIncl}
+	it := &Iterator{tree: t, stopKey: stop, stopIncl: stopIncl, leavesLeft: -1}
 	if start == nil {
 		it.leaf = t.firstLeaf()
 		return it
@@ -447,6 +486,7 @@ func (t *BTree) Get(key []byte) ([]byte, bool) {
 // table loading and c-table construction. It returns an error if the input
 // is not sorted.
 func (t *BTree) BulkLoad(next func() (key, val []byte, ok bool), fillFactor float64) error {
+	t.leafCache = nil
 	if fillFactor <= 0 || fillFactor > 1 {
 		fillFactor = 1.0
 	}

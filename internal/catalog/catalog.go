@@ -317,6 +317,86 @@ func (t *Table) Scan() *RowIterator {
 	return &RowIterator{table: t, heap: t.heap.Scan()}
 }
 
+// ScanMorsel is one morsel of a partitioned full scan: a run of consecutive
+// leaf pages (clustered tables) or heap pages. Morsels are cheap descriptors;
+// Iterator opens a fresh iterator over the morsel's rows, so a morsel can be
+// re-scanned and morsels can be consumed by concurrent workers (each worker
+// owns the iterators it opens).
+type ScanMorsel struct {
+	table *Table
+	// clustered tables: starting leaf page and number of leaves.
+	leafStart storage.PageID
+	leafCount int
+	// heaps: starting page index and number of pages.
+	pageStart, pageCount int
+}
+
+// Iterator returns a fresh iterator over the morsel's rows.
+func (m ScanMorsel) Iterator() *RowIterator {
+	if m.table.Clustered != nil {
+		return &RowIterator{table: m.table, tree: m.table.Clustered.tree.ScanLeaves(m.leafStart, m.leafCount)}
+	}
+	return &RowIterator{table: m.table, heap: m.table.heap.ScanPages(m.pageStart, m.pageCount)}
+}
+
+// ScanMorsels partitions a full scan into morsels of roughly targetRows rows
+// each (page granularity, so actual sizes vary with fill). Concatenating the
+// morsels' iterators in slice order reproduces Scan exactly. It returns nil
+// for empty tables.
+func (t *Table) ScanMorsels(targetRows int64) []ScanMorsel {
+	if targetRows < 1 {
+		targetRows = 1
+	}
+	rows := t.RowCount()
+	if rows == 0 {
+		return nil
+	}
+	if t.Clustered != nil {
+		leaves := t.Clustered.tree.LeafPages()
+		if len(leaves) == 0 {
+			return nil
+		}
+		rowsPerLeaf := rows / int64(len(leaves))
+		if rowsPerLeaf < 1 {
+			rowsPerLeaf = 1
+		}
+		per := int(targetRows / rowsPerLeaf)
+		if per < 1 {
+			per = 1
+		}
+		var out []ScanMorsel
+		for i := 0; i < len(leaves); i += per {
+			n := per
+			if i+n > len(leaves) {
+				n = len(leaves) - i
+			}
+			out = append(out, ScanMorsel{table: t, leafStart: leaves[i], leafCount: n})
+		}
+		return out
+	}
+	pages := t.heap.NumPages()
+	if pages == 0 {
+		return nil
+	}
+	rowsPerPage := rows / int64(pages)
+	if rowsPerPage < 1 {
+		rowsPerPage = 1
+	}
+	per := int(targetRows / rowsPerPage)
+	if per < 1 {
+		per = 1
+	}
+	var out []ScanMorsel
+	for i := 0; i < pages; i += per {
+		n := per
+		if i+n > pages {
+			n = pages - i
+		}
+		out = append(out, ScanMorsel{table: t, pageStart: i, pageCount: n})
+	}
+	return out
+}
+
 // LookupRID fetches a heap row by RID (heap tables only).
 func (t *Table) LookupRID(rid storage.RID) ([]value.Value, error) {
 	if t.heap == nil {

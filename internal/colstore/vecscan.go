@@ -32,6 +32,11 @@ type ProjectionScan struct {
 	segs   []*ColumnSegment
 	schema []exec.ColumnInfo
 	pos    int64 // next 0-based position
+	// lo and hi bound the scanned 0-based row range [lo, hi); a full scan
+	// covers [0, NumRows). Parallel morsels are ProjectionScan clones over
+	// disjoint windows — compressed segments clip per window, so RLE and
+	// dictionary morsels cross worker boundaries without decompressing.
+	lo, hi int64
 }
 
 // NewProjectionScan builds a scan over the given projection columns (nil
@@ -40,7 +45,7 @@ func NewProjectionScan(p *Projection, cols []string, flat bool) (*ProjectionScan
 	if cols == nil {
 		cols = p.Columns
 	}
-	s := &ProjectionScan{Proj: p, Cols: cols, FlatVectors: flat}
+	s := &ProjectionScan{Proj: p, Cols: cols, FlatVectors: flat, lo: 0, hi: p.NumRows}
 	for _, col := range cols {
 		seg, err := p.Segment(col)
 		if err != nil {
@@ -61,8 +66,39 @@ func (s *ProjectionScan) Schema() []exec.ColumnInfo { return s.schema }
 
 // Open implements exec.Operator and exec.BatchOperator.
 func (s *ProjectionScan) Open() error {
-	s.pos = 0
+	s.pos = s.lo
 	return nil
+}
+
+// NumScanRows implements exec.Morseler.
+func (s *ProjectionScan) NumScanRows() int64 { return s.hi - s.lo }
+
+// Morsels implements exec.Morseler: the projection splits into row windows of
+// targetRows rows, each a ProjectionScan clone sharing the compressed
+// segments.
+func (s *ProjectionScan) Morsels(targetRows int) ([]exec.BatchOperator, bool) {
+	if targetRows < 1 {
+		targetRows = 1
+	}
+	n := s.hi - s.lo
+	if n <= int64(targetRows) {
+		return nil, false
+	}
+	var out []exec.BatchOperator
+	for lo := s.lo; lo < s.hi; lo += int64(targetRows) {
+		hi := lo + int64(targetRows)
+		if hi > s.hi {
+			hi = s.hi
+		}
+		clone := *s
+		clone.lo, clone.hi = lo, hi
+		clone.pos = lo
+		out = append(out, &clone)
+	}
+	if len(out) < 2 {
+		return nil, false
+	}
+	return out, true
 }
 
 // Close implements exec.Operator and exec.BatchOperator.
@@ -71,7 +107,7 @@ func (s *ProjectionScan) Close() error { return nil }
 // Next implements exec.Operator (row protocol) for composition with
 // row-at-a-time parents; the hot path is NextBatch.
 func (s *ProjectionScan) Next() (exec.Row, bool, error) {
-	if s.pos >= s.Proj.NumRows {
+	if s.pos >= s.hi {
 		return nil, false, nil
 	}
 	row := make(exec.Row, len(s.segs))
@@ -86,12 +122,12 @@ func (s *ProjectionScan) Next() (exec.Row, bool, error) {
 // clipped to the batch window.
 func (s *ProjectionScan) NextBatch() (*exec.Batch, bool, error) {
 	start := s.pos
-	if start >= s.Proj.NumRows {
+	if start >= s.hi {
 		return nil, false, nil
 	}
 	end := start + exec.DefaultBatchSize
-	if end > s.Proj.NumRows {
-		end = s.Proj.NumRows
+	if end > s.hi {
+		end = s.hi
 	}
 	s.pos = end
 	cols := make([]*vector.Vector, len(s.segs))

@@ -6,6 +6,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,15 +37,27 @@ type Options struct {
 	// sort-prefix columns. Compressed execution is the default; the knob
 	// exists for differential testing and the flat-vs-compressed benchmarks.
 	DisableCompressed bool
+	// Parallelism is the number of workers for morsel-parallel query
+	// execution. 0 (the zero value) selects runtime.GOMAXPROCS(0); 1 disables
+	// parallel execution entirely, reproducing the serial plans byte for
+	// byte. Only vectorized execution parallelizes; the row-at-a-time path
+	// always runs serial. Results are deterministic at any worker count, but
+	// per-query IOStats are not: concurrent morsel scans interleave their
+	// pager reads, so the sequential/random stream classification (and with a
+	// bounded buffer pool, the read counts) can vary run to run — measurements
+	// that lean on the paper's I/O model should pin Parallelism to 1, as the
+	// bench harness does by default.
+	Parallelism int
 }
 
 // Engine is a single-node, in-process database instance.
 type Engine struct {
-	pager      *storage.Pager
-	cat        *catalog.Catalog
-	views      map[string]*ViewDef
-	vectorized bool
-	compressed bool
+	pager       *storage.Pager
+	cat         *catalog.Catalog
+	views       map[string]*ViewDef
+	vectorized  bool
+	compressed  bool
+	parallelism int
 }
 
 // ViewDef records a materialized view: its defining query and backing table.
@@ -70,12 +83,20 @@ func New(opts Options) *Engine {
 	}
 	pager := storage.NewPager(opts.BufferPoolPages)
 	vectorized := opts.Vectorized || !opts.DisableVectorized
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if !vectorized {
+		parallelism = 1
+	}
 	return &Engine{
-		pager:      pager,
-		cat:        catalog.New(pager, overhead),
-		views:      make(map[string]*ViewDef),
-		vectorized: vectorized,
-		compressed: vectorized && !opts.DisableCompressed,
+		pager:       pager,
+		cat:         catalog.New(pager, overhead),
+		views:       make(map[string]*ViewDef),
+		vectorized:  vectorized,
+		compressed:  vectorized && !opts.DisableCompressed,
+		parallelism: parallelism,
 	}
 }
 
@@ -88,6 +109,10 @@ func (e *Engine) Vectorized() bool { return e.vectorized }
 
 // Compressed reports whether batch scans emit compressed (Const/RLE) vectors.
 func (e *Engine) Compressed() bool { return e.compressed }
+
+// Parallelism reports the worker count used for morsel-parallel execution
+// (1 means serial).
+func (e *Engine) Parallelism() int { return e.parallelism }
 
 // Catalog exposes the engine's catalog.
 func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
@@ -176,6 +201,7 @@ func (e *Engine) runSelect(stmt *sql.SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.parallelizePlan(pl)
 	before := e.pager.Stats()
 	start := time.Now()
 	var rows []exec.Row
@@ -201,16 +227,34 @@ func (e *Engine) runSelect(stmt *sql.SelectStmt) (*Result, error) {
 	}, nil
 }
 
-// Explain plans a SELECT and returns the textual plan without executing it.
+// parallelizePlan applies the morsel-parallel rewrite to a compiled plan and
+// annotates its Explain string when a pipeline actually went parallel, so
+// the reported plan matches what executes.
+func (e *Engine) parallelizePlan(pl *plan.Plan) {
+	if !e.vectorized || e.parallelism <= 1 {
+		return
+	}
+	root, rewrote := plan.Parallelize(pl.Root, e.parallelism)
+	pl.Root = root
+	if rewrote {
+		pl.Explain = fmt.Sprintf("%s [parallel %d]", pl.Explain, e.parallelism)
+	}
+}
+
+// Explain plans a SELECT and returns the textual plan without executing it,
+// including the morsel-parallel rewrite the engine would apply.
 func (e *Engine) Explain(sqlText string) (string, error) {
 	stmt, err := sql.ParseSelect(sqlText)
 	if err != nil {
 		return "", err
 	}
-	pl, err := plan.NewPlanner(e.cat).PlanSelect(stmt)
+	planner := plan.NewPlanner(e.cat)
+	planner.DisableCompressed = !e.compressed
+	pl, err := planner.PlanSelect(stmt)
 	if err != nil {
 		return "", err
 	}
+	e.parallelizePlan(pl)
 	return pl.Explain, nil
 }
 

@@ -99,6 +99,30 @@ func (s *aggState) addN(v value.Value, reps int64, kind AggKind) {
 	}
 }
 
+// merge folds another partial state for the same group and aggregate into s —
+// the partial→final combine step of parallel aggregation. COUNT and SUM add,
+// MIN/MAX compare, AVG adds its sum and count. Integer sums stay exact; float
+// sums adopt the merge order's rounding, so callers merge partials in a
+// deterministic (morsel) order.
+func (s *aggState) merge(o *aggState, kind AggKind) {
+	s.count += o.count
+	s.seen = s.seen || o.seen
+	switch kind {
+	case AggSum, AggAvg:
+		s.intOnly = s.intOnly && o.intOnly
+		s.sum += o.sum
+		s.sumInt += o.sumInt
+	case AggMin:
+		if !o.min.IsNull() && (s.min.IsNull() || value.Compare(o.min, s.min) < 0) {
+			s.min = o.min
+		}
+	case AggMax:
+		if !o.max.IsNull() && (s.max.IsNull() || value.Compare(o.max, s.max) > 0) {
+			s.max = o.max
+		}
+	}
+}
+
 func (s *aggState) result(kind AggKind) value.Value {
 	switch kind {
 	case AggCountStar, AggCount:
@@ -128,7 +152,12 @@ func (s *aggState) result(kind AggKind) value.Value {
 // aggSchema builds the output schema of a grouping operator: the group-by
 // columns (in order) followed by one column per aggregate.
 func aggSchema(input Operator, groupBy []int, aggs []AggSpec) []ColumnInfo {
-	in := input.Schema()
+	return aggSchemaFromCols(input.Schema(), groupBy, aggs)
+}
+
+// aggSchemaFromCols is aggSchema over an input schema already in hand (the
+// parallel aggregates build theirs from a morsel pipeline's schema).
+func aggSchemaFromCols(in []ColumnInfo, groupBy []int, aggs []AggSpec) []ColumnInfo {
 	out := make([]ColumnInfo, 0, len(groupBy)+len(aggs))
 	for _, g := range groupBy {
 		out = append(out, in[g])
@@ -199,25 +228,206 @@ func newAggGroup(keys Row, naggs int) *aggGroup {
 	return grp
 }
 
+// hashAggBuilder accumulates grouped aggregate state batch- or row-wise. It
+// is the build machinery shared by HashAggregate and the per-morsel partial
+// aggregations of ParallelHashAggregate: concurrent workers each fill a
+// builder, the partials combine with mergeFrom, and finish renders the
+// key-sorted result rows — so serial and parallel plans produce groups in
+// the identical order.
+type hashAggBuilder struct {
+	groupBy []int
+	aggs    []AggSpec
+	groups  map[string]*aggGroup
+	// fast maps a single numeric group-by key (its NumericSortKey word) to
+	// its group without the per-row encode and string allocation. Grouping by
+	// that word is exactly equivalent to grouping by the encoded key, which
+	// keeps the final key-sorted output identical to the generic path; it is
+	// the workload's common case (Q1-Q6 all group on one date or int column).
+	// NULL and string keys (and multi-column groupings) take the generic
+	// encoded-key path; both paths share the groups map.
+	fast   map[uint64]*aggGroup
+	fastOK bool
+	keyBuf []byte
+}
+
+func newHashAggBuilder(groupBy []int, aggs []AggSpec) *hashAggBuilder {
+	b := &hashAggBuilder{
+		groupBy: groupBy,
+		aggs:    aggs,
+		groups:  make(map[string]*aggGroup),
+		fastOK:  len(groupBy) == 1,
+	}
+	if b.fastOK {
+		b.fast = make(map[uint64]*aggGroup)
+	}
+	return b
+}
+
+// consumeBatch folds one batch into the hash table.
+func (hb *hashAggBuilder) consumeBatch(b *Batch) error {
+	argVecs, err := aggArgVectors(hb.aggs, b)
+	if err != nil {
+		return err
+	}
+	n := b.NumRows()
+	keyVals := make(Row, len(hb.groupBy))
+	// lookupSlow is the generic encoded-key group lookup; keyVals must
+	// already hold the group key. The numeric single-column fast path
+	// stays inline in the loops below.
+	lookupSlow := func() *aggGroup {
+		hb.keyBuf = value.EncodeKey(hb.keyBuf[:0], keyVals)
+		grp, ok := hb.groups[string(hb.keyBuf)]
+		if !ok {
+			grp = newAggGroup(append(Row(nil), keyVals...), len(hb.aggs))
+			hb.groups[string(hb.keyBuf)] = grp
+		}
+		return grp
+	}
+	lookupFast := func(v value.Value) *aggGroup {
+		bits := value.NumericSortKey(v)
+		grp := hb.fast[bits]
+		if grp == nil {
+			grp = newAggGroup(Row{v}, len(hb.aggs))
+			hb.fast[bits] = grp
+			hb.groups[string(value.EncodeKey(nil, grp.keys))] = grp
+		}
+		return grp
+	}
+	seg := newSegmentIter(b, hb.groupBy, argVecs)
+	if seg.flat {
+		// All-flat batch: the plain per-row loop over raw slices, with
+		// the numeric fast path fully inline (this is the executor's
+		// hottest loop). Only the columns the loop actually reads are
+		// flattened — untouched compressed columns stay compressed.
+		groupFlats := make([][]value.Value, len(hb.groupBy))
+		for k, g := range hb.groupBy {
+			groupFlats[k] = b.Cols[g].Flat()
+		}
+		argFlats := flatColumns(argVecs)
+		fastOK, fast := hb.fastOK, hb.fast
+		for i := 0; i < n; i++ {
+			p := b.PhysIdx(i)
+			var grp *aggGroup
+			if fastOK {
+				if v := groupFlats[0][p]; v.Kind != value.KindNull && v.Kind != value.KindString {
+					bits := value.NumericSortKey(v)
+					grp = fast[bits]
+					if grp == nil {
+						grp = newAggGroup(Row{v}, len(hb.aggs))
+						fast[bits] = grp
+						hb.groups[string(value.EncodeKey(nil, grp.keys))] = grp
+					}
+				}
+			}
+			if grp == nil {
+				for k := range hb.groupBy {
+					keyVals[k] = groupFlats[k][p]
+				}
+				grp = lookupSlow()
+			}
+			for j, a := range hb.aggs {
+				var v value.Value
+				if a.Kind != AggCountStar {
+					v = argFlats[j][p]
+				}
+				grp.states[j].add(v, a.Kind)
+			}
+		}
+		return nil
+	}
+	// Compressed batch: walk maximal constant segments — a whole
+	// batch for Const vectors, a clipped run for RLE — so
+	// COUNT/SUM over a run collapse to a single addN.
+	for i := 0; i < n; {
+		p, reps := seg.next(i)
+		var grp *aggGroup
+		if hb.fastOK {
+			if v := b.Cols[hb.groupBy[0]].Get(p); v.Kind != value.KindNull && v.Kind != value.KindString {
+				grp = lookupFast(v)
+			}
+		}
+		if grp == nil {
+			for k, g := range hb.groupBy {
+				keyVals[k] = b.Cols[g].Get(p)
+			}
+			grp = lookupSlow()
+		}
+		for j, a := range hb.aggs {
+			var v value.Value
+			if a.Kind != AggCountStar {
+				v = argVecs[j].Get(p)
+			}
+			grp.states[j].addN(v, int64(reps), a.Kind)
+		}
+		i += reps
+	}
+	return nil
+}
+
+// consumeRow folds one row into the hash table (the row-at-a-time build).
+func (hb *hashAggBuilder) consumeRow(row Row) error {
+	keyVals := make(Row, len(hb.groupBy))
+	for i, g := range hb.groupBy {
+		keyVals[i] = row[g]
+	}
+	key := string(value.EncodeKey(nil, keyVals))
+	grp, ok := hb.groups[key]
+	if !ok {
+		grp = newAggGroup(keyVals, len(hb.aggs))
+		hb.groups[key] = grp
+	}
+	return accumulate(grp.states, hb.aggs, row)
+}
+
+// mergeFrom folds another builder's partial groups into hb — the
+// partial→final combine of parallel aggregation. The other builder must have
+// been built over the same groupBy/aggs and is consumed by the call. Per-key
+// state merges are independent, so only the relative order of mergeFrom
+// calls matters for float-sum rounding; ParallelHashAggregate merges morsel
+// partials in morsel order to keep results deterministic.
+func (hb *hashAggBuilder) mergeFrom(o *hashAggBuilder) {
+	// The numeric fast map is not maintained across merges; disable it so a
+	// later consumeBatch cannot resurrect a stale entry and shadow a merged
+	// group.
+	hb.fastOK = false
+	hb.fast = nil
+	for key, og := range o.groups {
+		grp, ok := hb.groups[key]
+		if !ok {
+			hb.groups[key] = og
+			continue
+		}
+		for i := range grp.states {
+			grp.states[i].merge(og.states[i], hb.aggs[i].Kind)
+		}
+	}
+}
+
+// finish renders the accumulated groups as result rows sorted by encoded
+// group key. A global aggregate (no GROUP BY) over empty input yields its
+// single row here.
+func (hb *hashAggBuilder) finish() []Row {
+	if len(hb.groupBy) == 0 && len(hb.groups) == 0 {
+		hb.groups[""] = newAggGroup(nil, len(hb.aggs))
+	}
+	keys := make([]string, 0, len(hb.groups))
+	for k := range hb.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Row, 0, len(keys))
+	for _, k := range keys {
+		grp := hb.groups[k]
+		out = append(out, finishGroup(grp.keys, grp.states, hb.aggs))
+	}
+	return out
+}
+
 // build drains the input (batch-wise or row-wise) into the hash table and
 // sorts the finished groups by encoded key.
 func (h *HashAggregate) build(batchWise bool) error {
-	groups := make(map[string]*aggGroup)
-	var keyBuf []byte
+	hb := newHashAggBuilder(h.GroupBy, h.Aggs)
 	if batchWise {
-		// Single-column group-by keyed on a numeric column is the workload's
-		// common case (Q1-Q6 all group on one date or int column). EncodeKey
-		// maps every numeric kind through NumericSortKey, so grouping by that
-		// word in a uint64-keyed map is exactly equivalent to grouping by the
-		// encoded key — without the per-row encode and string allocation.
-		// NULL and string keys (and multi-column groupings) take the generic
-		// encoded-key path; both paths share the groups map, which keeps the
-		// final key-sorted output order identical to the row-at-a-time build.
-		fastOK := len(h.GroupBy) == 1
-		var fast map[uint64]*aggGroup
-		if fastOK {
-			fast = make(map[uint64]*aggGroup)
-		}
 		for {
 			b, ok, err := h.binput.NextBatch()
 			if err != nil {
@@ -226,100 +436,8 @@ func (h *HashAggregate) build(batchWise bool) error {
 			if !ok {
 				break
 			}
-			argVecs, err := aggArgVectors(h.Aggs, b)
-			if err != nil {
+			if err := hb.consumeBatch(b); err != nil {
 				return err
-			}
-			n := b.NumRows()
-			keyVals := make(Row, len(h.GroupBy))
-			// lookupSlow is the generic encoded-key group lookup; keyVals must
-			// already hold the group key. The numeric single-column fast path
-			// stays inline in the loops below.
-			lookupSlow := func() *aggGroup {
-				keyBuf = value.EncodeKey(keyBuf[:0], keyVals)
-				grp, ok := groups[string(keyBuf)]
-				if !ok {
-					grp = newAggGroup(append(Row(nil), keyVals...), len(h.Aggs))
-					groups[string(keyBuf)] = grp
-				}
-				return grp
-			}
-			lookupFast := func(v value.Value) *aggGroup {
-				bits := value.NumericSortKey(v)
-				grp := fast[bits]
-				if grp == nil {
-					grp = newAggGroup(Row{v}, len(h.Aggs))
-					fast[bits] = grp
-					groups[string(value.EncodeKey(nil, grp.keys))] = grp
-				}
-				return grp
-			}
-			seg := newSegmentIter(b, h.GroupBy, argVecs)
-			if seg.flat {
-				// All-flat batch: the plain per-row loop over raw slices, with
-				// the numeric fast path fully inline (this is the executor's
-				// hottest loop). Only the columns the loop actually reads are
-				// flattened — untouched compressed columns stay compressed.
-				groupFlats := make([][]value.Value, len(h.GroupBy))
-				for k, g := range h.GroupBy {
-					groupFlats[k] = b.Cols[g].Flat()
-				}
-				argFlats := flatColumns(argVecs)
-				for i := 0; i < n; i++ {
-					p := b.PhysIdx(i)
-					var grp *aggGroup
-					if fastOK {
-						if v := groupFlats[0][p]; v.Kind != value.KindNull && v.Kind != value.KindString {
-							bits := value.NumericSortKey(v)
-							grp = fast[bits]
-							if grp == nil {
-								grp = newAggGroup(Row{v}, len(h.Aggs))
-								fast[bits] = grp
-								groups[string(value.EncodeKey(nil, grp.keys))] = grp
-							}
-						}
-					}
-					if grp == nil {
-						for k := range h.GroupBy {
-							keyVals[k] = groupFlats[k][p]
-						}
-						grp = lookupSlow()
-					}
-					for j, a := range h.Aggs {
-						var v value.Value
-						if a.Kind != AggCountStar {
-							v = argFlats[j][p]
-						}
-						grp.states[j].add(v, a.Kind)
-					}
-				}
-			} else {
-				// Compressed batch: walk maximal constant segments — a whole
-				// batch for Const vectors, a clipped run for RLE — so
-				// COUNT/SUM over a run collapse to a single addN.
-				for i := 0; i < n; {
-					p, reps := seg.next(i)
-					var grp *aggGroup
-					if fastOK {
-						if v := b.Cols[h.GroupBy[0]].Get(p); v.Kind != value.KindNull && v.Kind != value.KindString {
-							grp = lookupFast(v)
-						}
-					}
-					if grp == nil {
-						for k, g := range h.GroupBy {
-							keyVals[k] = b.Cols[g].Get(p)
-						}
-						grp = lookupSlow()
-					}
-					for j, a := range h.Aggs {
-						var v value.Value
-						if a.Kind != AggCountStar {
-							v = argVecs[j].Get(p)
-						}
-						grp.states[j].addN(v, int64(reps), a.Kind)
-					}
-					i += reps
-				}
 			}
 		}
 	} else {
@@ -331,35 +449,12 @@ func (h *HashAggregate) build(batchWise bool) error {
 			if !ok {
 				break
 			}
-			keyVals := make(Row, len(h.GroupBy))
-			for i, g := range h.GroupBy {
-				keyVals[i] = row[g]
-			}
-			key := string(value.EncodeKey(nil, keyVals))
-			grp, ok := groups[key]
-			if !ok {
-				grp = newAggGroup(keyVals, len(h.Aggs))
-				groups[key] = grp
-			}
-			if err := accumulate(grp.states, h.Aggs, row); err != nil {
+			if err := hb.consumeRow(row); err != nil {
 				return err
 			}
 		}
 	}
-	// Aggregation without GROUP BY always produces one row, even on empty input.
-	if len(h.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = newAggGroup(nil, len(h.Aggs))
-	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	h.results = make([]Row, 0, len(keys))
-	for _, k := range keys {
-		grp := groups[k]
-		h.results = append(h.results, finishGroup(grp.keys, grp.states, h.Aggs))
-	}
+	h.results = hb.finish()
 	h.pos = 0
 	h.built = true
 	return nil
@@ -673,6 +768,94 @@ func (s *StreamAggregate) NextBatch() (*Batch, bool, error) {
 			return out, true, nil
 		}
 	}
+}
+
+// streamAggRun accumulates the ordered groups of one contiguous range of a
+// grouped input (a morsel) for streaming aggregation: keys and states in
+// first-seen order, no group dropped. Because morsels are consecutive ranges
+// of the grouped input, two adjacent runs can share at most the group at
+// their seam — appendRun merges it — so concatenating the runs in morsel
+// order reproduces the serial StreamAggregate's groups exactly.
+type streamAggRun struct {
+	groupBy []int
+	aggs    []AggSpec
+	keys    []Row
+	states  [][]*aggState
+}
+
+func newStreamAggRun(groupBy []int, aggs []AggSpec) *streamAggRun {
+	return &streamAggRun{groupBy: groupBy, aggs: aggs}
+}
+
+// consumeBatch folds one batch (grouped on the group-by columns, like the
+// whole input) into the run.
+func (r *streamAggRun) consumeBatch(b *Batch) error {
+	argVecs, err := aggArgVectors(r.aggs, b)
+	if err != nil {
+		return err
+	}
+	seg := newSegmentIter(b, r.groupBy, argVecs)
+	n := b.NumRows()
+	for i := 0; i < n; {
+		// The group key is constant across a segment by construction, so the
+		// key comparison runs once per segment and the aggregates consume the
+		// segment as one (value, count) pair.
+		p, reps := seg.next(i)
+		keyVals := make(Row, len(r.groupBy))
+		for k, g := range r.groupBy {
+			keyVals[k] = b.Cols[g].Get(p)
+		}
+		last := len(r.keys) - 1
+		if last < 0 || !rowsEqual(keyVals, r.keys[last]) {
+			states := make([]*aggState, len(r.aggs))
+			for j := range states {
+				states[j] = newAggState()
+			}
+			r.keys = append(r.keys, keyVals)
+			r.states = append(r.states, states)
+			last++
+		}
+		for j, a := range r.aggs {
+			var v value.Value
+			if a.Kind != AggCountStar {
+				v = argVecs[j].Get(p)
+			}
+			r.states[last][j].addN(v, int64(reps), a.Kind)
+		}
+		i += reps
+	}
+	return nil
+}
+
+// appendRun concatenates the next morsel's run onto r, merging the seam
+// group when the two runs meet inside one group.
+func (r *streamAggRun) appendRun(o *streamAggRun) {
+	start := 0
+	if last := len(r.keys) - 1; last >= 0 && len(o.keys) > 0 && rowsEqual(r.keys[last], o.keys[0]) {
+		for j := range r.states[last] {
+			r.states[last][j].merge(o.states[0][j], r.aggs[j].Kind)
+		}
+		start = 1
+	}
+	r.keys = append(r.keys, o.keys[start:]...)
+	r.states = append(r.states, o.states[start:]...)
+}
+
+// finish renders the run's groups as rows in input order. A global aggregate
+// (no GROUP BY) over empty input yields its single row here.
+func (r *streamAggRun) finish() []Row {
+	if len(r.keys) == 0 && len(r.groupBy) == 0 {
+		states := make([]*aggState, len(r.aggs))
+		for j := range states {
+			states[j] = newAggState()
+		}
+		return []Row{finishGroup(nil, states, r.aggs)}
+	}
+	out := make([]Row, len(r.keys))
+	for i := range r.keys {
+		out[i] = finishGroup(r.keys[i], r.states[i], r.aggs)
+	}
+	return out
 }
 
 func rowsEqual(a, b Row) bool {

@@ -304,11 +304,17 @@ func (s *Sort) materialize(batchWise bool) error {
 			s.rows = append(s.rows, row)
 		}
 	}
-	sort.SliceStable(s.rows, func(i, j int) bool {
-		return compareRows(s.rows[i], s.rows[j], s.Keys) < 0
-	})
+	stableSortRows(s.rows, s.Keys)
 	s.sorted = true
 	return nil
+}
+
+// stableSortRows stable-sorts rows in place by the sort keys (shared by Sort
+// and the per-morsel runs of ParallelSort, so both apply identical ordering).
+func stableSortRows(rows []Row, keys []SortKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return compareRows(rows[i], rows[j], keys) < 0
+	})
 }
 
 func compareRows(a, b Row, keys []SortKey) int {

@@ -1,0 +1,617 @@
+// Morsel-driven parallel execution. A partitionable source (Morseler) splits
+// its row range into morsels — small, self-contained scans over disjoint,
+// consecutive row ranges. An atomic cursor hands morsels to a fixed pool of
+// worker goroutines; each worker runs its own clone of the stateless operator
+// pipeline (Filter/Project) over the morsels it claims, so scans, predicate
+// kernels and partial aggregation all run concurrently. Compressed (Const/
+// RLE/Dict) vectors flow through worker pipelines unchanged: a morsel's
+// batches cross the worker boundary in whatever encoding the scan produced.
+//
+// Every merge operator re-establishes the serial order: ParallelMerge
+// reassembles row streams in morsel order, the parallel aggregates combine
+// per-morsel partial states in morsel order (so even float sums are
+// reproducible run to run), and ParallelSort K-way-merges per-morsel sorted
+// runs with a morsel-order tie-break, reproducing the serial stable sort.
+// Result: a parallel plan returns exactly what the serial plan returns, made
+// deterministic by construction rather than by scheduling luck.
+package exec
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMorselRows is the target number of rows per morsel: large enough to
+// amortize per-morsel overhead (a handful of batches), small enough that the
+// atomic cursor balances skewed pipelines across workers.
+const DefaultMorselRows = 8 * DefaultBatchSize
+
+// Morseler is a batch source that can split its row range into morsels.
+// SeqScan (leaf-page ranges) and colstore.ProjectionScan (row windows)
+// implement it.
+type Morseler interface {
+	BatchOperator
+	// NumScanRows reports the total row count available for partitioning —
+	// the planner's parallelization threshold input.
+	NumScanRows() int64
+	// Morsels splits the source into operators over disjoint, consecutive
+	// row ranges of roughly targetRows rows whose concatenation in slice
+	// order reproduces the source's row stream exactly. Each morsel operator
+	// owns its cursor state, so distinct morsels can be scanned concurrently.
+	// Morsel operators carry a stronger batch contract than BatchOperator's
+	// minimum: every NextBatch must return freshly allocated (or immutable,
+	// never-recycled) columns, because the merge operators buffer a morsel's
+	// batches past subsequent NextBatch calls and hand them across goroutines.
+	// ok is false when the source cannot be split into at least two morsels.
+	Morsels(targetRows int) (parts []BatchOperator, ok bool)
+}
+
+// PipelineFunc builds a fresh clone of the stateless operator pipeline
+// (Filter/Project) that sits between the scan and the pipeline breaker. It is
+// called once per morsel, possibly from concurrent workers, so it must not
+// share mutable state between clones (shared expression trees are fine: they
+// are immutable and their kernels are pure).
+type PipelineFunc func(src BatchOperator) BatchOperator
+
+func identityPipeline(src BatchOperator) BatchOperator { return src }
+
+// runnerResult is one morsel's outcome in flight from a worker.
+type runnerResult struct {
+	seq int
+	val any
+	err error
+}
+
+// orderedRunner fans a morsel list out to a pool of worker goroutines — the
+// atomic cursor hands the next unclaimed morsel to whichever worker goes
+// idle — and yields each morsel's result in morsel order (reordering happens
+// at the consumer, so workers never wait for each other).
+type orderedRunner struct {
+	parts   []BatchOperator
+	workers int
+	fn      func(part BatchOperator) (any, error)
+
+	cursor  atomic.Int64
+	results chan runnerResult
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	pending map[int]runnerResult
+	next    int
+	started bool
+	stopped bool
+}
+
+func newOrderedRunner(parts []BatchOperator, workers int, fn func(BatchOperator) (any, error)) *orderedRunner {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	return &orderedRunner{parts: parts, workers: workers, fn: fn}
+}
+
+// start launches the worker pool. Called lazily from the first nextResult so
+// an operator that is opened but never pulled does no work.
+func (r *orderedRunner) start() {
+	r.results = make(chan runnerResult, r.workers)
+	r.quit = make(chan struct{})
+	r.pending = make(map[int]runnerResult)
+	r.started = true
+	r.wg.Add(r.workers)
+	for w := 0; w < r.workers; w++ {
+		go func() {
+			defer r.wg.Done()
+			for {
+				select {
+				case <-r.quit:
+					return
+				default:
+				}
+				seq := int(r.cursor.Add(1)) - 1
+				if seq >= len(r.parts) {
+					return
+				}
+				val, err := r.fn(r.parts[seq])
+				select {
+				case r.results <- runnerResult{seq: seq, val: val, err: err}:
+				case <-r.quit:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		r.wg.Wait()
+		close(r.results)
+	}()
+}
+
+// nextResult returns morsel results in morsel order; ok is false when every
+// morsel has been delivered. The first error short-circuits.
+func (r *orderedRunner) nextResult() (any, bool, error) {
+	if !r.started {
+		r.start()
+	}
+	for {
+		if res, ok := r.pending[r.next]; ok {
+			delete(r.pending, r.next)
+			r.next++
+			if res.err != nil {
+				return nil, false, res.err
+			}
+			return res.val, true, nil
+		}
+		res, ok := <-r.results
+		if !ok {
+			return nil, false, nil
+		}
+		if res.err != nil {
+			return nil, false, res.err
+		}
+		r.pending[res.seq] = res
+	}
+}
+
+// stop shuts the worker pool down (early exit, Close, error); it is safe to
+// call on a runner that never started and idempotent.
+func (r *orderedRunner) stop() {
+	if !r.started || r.stopped {
+		return
+	}
+	r.stopped = true
+	close(r.quit)
+	// Drain so workers blocked on a send can observe quit and exit; the
+	// channel closes once the pool has fully wound down.
+	for range r.results {
+	}
+}
+
+// batchRowCursor adapts a batch stream to the row protocol for the parallel
+// operators' Operator implementations.
+type batchRowCursor struct {
+	cur *Batch
+	pos int
+}
+
+func (c *batchRowCursor) reset() { c.cur, c.pos = nil, 0 }
+
+func (c *batchRowCursor) next(pull func() (*Batch, bool, error)) (Row, bool, error) {
+	for c.cur == nil || c.pos >= c.cur.NumRows() {
+		b, ok, err := pull()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		c.cur, c.pos = b, 0
+	}
+	row := c.cur.Row(c.pos)
+	c.pos++
+	return row, true, nil
+}
+
+// morselParts splits src into morsels when it is partitionable into at least
+// two; build defaults to the identity pipeline.
+func morselParts(src BatchOperator, build PipelineFunc) ([]BatchOperator, PipelineFunc, bool) {
+	m, ok := src.(Morseler)
+	if !ok {
+		return nil, nil, false
+	}
+	parts, ok := m.Morsels(DefaultMorselRows)
+	if !ok || len(parts) < 2 {
+		return nil, nil, false
+	}
+	if build == nil {
+		build = identityPipeline
+	}
+	return parts, build, true
+}
+
+// drainPipe opens a per-morsel pipeline, collects its batches and closes it.
+// Retaining whole batches leans on the Morseler contract above: morsel
+// pipelines never recycle batch buffers.
+func drainPipe(pipe BatchOperator) ([]*Batch, error) {
+	var out []*Batch
+	err := drainMorsel(pipe, func(b *Batch) error {
+		out = append(out, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParallelMerge executes per-worker clones of a stateless pipeline over the
+// morsels of a partitionable source and merges the outputs back in morsel
+// order, so the emitted row stream is byte-identical to the serial
+// pipeline's. It is the merge operator for unordered (non-aggregating,
+// non-sorting) parallel pipelines.
+type ParallelMerge struct {
+	build   PipelineFunc
+	workers int
+	parts   []BatchOperator
+	schema  []ColumnInfo
+
+	runner *orderedRunner
+	cur    []*Batch
+	curIdx int
+	rows   batchRowCursor
+}
+
+// NewParallelScan builds a parallel source over a partitionable scan with an
+// identity pipeline: the scan itself runs on the workers, batches come back
+// in morsel order.
+func NewParallelScan(src BatchOperator, workers int) (*ParallelMerge, bool) {
+	return NewParallelMerge(src, nil, workers)
+}
+
+// NewParallelMerge builds a parallel pipeline over a partitionable source.
+// ok is false when src cannot provide at least two morsels; build nil means
+// the identity pipeline.
+func NewParallelMerge(src BatchOperator, build PipelineFunc, workers int) (*ParallelMerge, bool) {
+	parts, build, ok := morselParts(src, build)
+	if !ok {
+		return nil, false
+	}
+	return &ParallelMerge{
+		build:   build,
+		workers: workers,
+		parts:   parts,
+		schema:  build(parts[0]).Schema(),
+	}, true
+}
+
+// Schema implements Operator and BatchOperator.
+func (m *ParallelMerge) Schema() []ColumnInfo { return m.schema }
+
+// Open implements Operator and BatchOperator.
+func (m *ParallelMerge) Open() error {
+	if m.runner != nil {
+		m.runner.stop()
+	}
+	m.runner = newOrderedRunner(m.parts, m.workers, func(part BatchOperator) (any, error) {
+		batches, err := drainPipe(m.build(part))
+		if err != nil {
+			return nil, err
+		}
+		return batches, nil
+	})
+	m.cur, m.curIdx = nil, 0
+	m.rows.reset()
+	return nil
+}
+
+// NextBatch implements BatchOperator.
+func (m *ParallelMerge) NextBatch() (*Batch, bool, error) {
+	if m.runner == nil {
+		return nil, false, errNotOpen("ParallelMerge")
+	}
+	for {
+		if m.curIdx < len(m.cur) {
+			b := m.cur[m.curIdx]
+			m.curIdx++
+			return b, true, nil
+		}
+		val, ok, err := m.runner.nextResult()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		m.cur, m.curIdx = val.([]*Batch), 0
+	}
+}
+
+// Next implements Operator.
+func (m *ParallelMerge) Next() (Row, bool, error) {
+	return m.rows.next(m.NextBatch)
+}
+
+// Close implements Operator and BatchOperator.
+func (m *ParallelMerge) Close() error {
+	if m.runner != nil {
+		m.runner.stop()
+		m.runner = nil
+	}
+	m.cur = nil
+	return nil
+}
+
+// parallelBreaker is the scaffolding shared by the materializing parallel
+// pipeline breakers (the aggregates and the sort): a morsel runner whose
+// per-morsel results — produced by morsel on the workers — merge in morsel
+// order into materialized result rows. The concrete breakers supply only the
+// two closures; lifecycle, the row/batch protocols and error plumbing live
+// here once.
+type parallelBreaker struct {
+	name    string
+	workers int
+	parts   []BatchOperator
+	schema  []ColumnInfo
+	// morsel drains one per-morsel pipeline into the breaker's partial form;
+	// it runs on the worker goroutines.
+	morsel func(part BatchOperator) (any, error)
+	// merge folds the morsel partials — delivered in morsel order by next —
+	// into the final result rows; it runs on the consumer.
+	merge func(next func() (any, bool, error)) ([]Row, error)
+
+	runner  *orderedRunner
+	results []Row
+	built   bool
+	pos     int
+	rows    batchRowCursor
+}
+
+// Schema implements Operator and BatchOperator.
+func (b *parallelBreaker) Schema() []ColumnInfo { return b.schema }
+
+// Open implements Operator and BatchOperator.
+func (b *parallelBreaker) Open() error {
+	if b.runner != nil {
+		b.runner.stop()
+	}
+	b.runner = newOrderedRunner(b.parts, b.workers, b.morsel)
+	b.results, b.built, b.pos = nil, false, 0
+	b.rows.reset()
+	return nil
+}
+
+// NextBatch implements BatchOperator.
+func (b *parallelBreaker) NextBatch() (*Batch, bool, error) {
+	if b.runner == nil {
+		return nil, false, errNotOpen(b.name)
+	}
+	if !b.built {
+		rows, err := b.merge(b.runner.nextResult)
+		if err != nil {
+			return nil, false, err
+		}
+		b.results, b.built, b.pos = rows, true, 0
+	}
+	if b.pos >= len(b.results) {
+		return nil, false, nil
+	}
+	return batchFromRows(b.results, &b.pos, len(b.schema)), true, nil
+}
+
+// Next implements Operator.
+func (b *parallelBreaker) Next() (Row, bool, error) {
+	return b.rows.next(b.NextBatch)
+}
+
+// Close implements Operator and BatchOperator.
+func (b *parallelBreaker) Close() error {
+	if b.runner != nil {
+		b.runner.stop()
+		b.runner = nil
+	}
+	b.results, b.built = nil, false
+	return nil
+}
+
+// drainMorsel opens a per-morsel pipeline, feeds every batch to consume and
+// closes it — the worker-side loop shared by the aggregate breakers.
+func drainMorsel(pipe BatchOperator, consume func(*Batch) error) error {
+	if err := pipe.Open(); err != nil {
+		return err
+	}
+	defer pipe.Close()
+	for {
+		b, ok, err := pipe.NextBatch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := consume(b); err != nil {
+			return err
+		}
+	}
+}
+
+// ParallelHashAggregate is the morsel-parallel form of HashAggregate: each
+// worker aggregates whole morsels into private partial hash tables, the
+// partials combine in morsel order (partial→final), and the merged groups
+// are emitted sorted by encoded key — the identical rows, in the identical
+// order, the serial operator produces.
+type ParallelHashAggregate struct {
+	parallelBreaker
+}
+
+// NewParallelHashAggregate builds a parallel hash aggregation over a
+// partitionable source; build clones the pipeline between the scan and the
+// aggregate (nil = aggregate the scan directly). ok is false when src cannot
+// provide at least two morsels.
+func NewParallelHashAggregate(src BatchOperator, build PipelineFunc, groupBy []int, aggs []AggSpec, workers int) (*ParallelHashAggregate, bool) {
+	parts, build, ok := morselParts(src, build)
+	if !ok {
+		return nil, false
+	}
+	return &ParallelHashAggregate{parallelBreaker{
+		name:    "ParallelHashAggregate",
+		workers: workers,
+		parts:   parts,
+		schema:  aggSchemaFromCols(build(parts[0]).Schema(), groupBy, aggs),
+		morsel: func(part BatchOperator) (any, error) {
+			hb := newHashAggBuilder(groupBy, aggs)
+			if err := drainMorsel(build(part), hb.consumeBatch); err != nil {
+				return nil, err
+			}
+			return hb, nil
+		},
+		merge: func(next func() (any, bool, error)) ([]Row, error) {
+			var total *hashAggBuilder
+			for {
+				val, ok, err := next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				if total == nil {
+					total = val.(*hashAggBuilder)
+				} else {
+					total.mergeFrom(val.(*hashAggBuilder))
+				}
+			}
+			if total == nil {
+				total = newHashAggBuilder(groupBy, aggs)
+			}
+			return total.finish(), nil
+		},
+	}}, true
+}
+
+// ParallelStreamAggregate is the morsel-parallel form of StreamAggregate
+// over an input already grouped on the group-by columns: each worker
+// stream-aggregates whole morsels into ordered partial runs, and the runs
+// concatenate in morsel order — merging the one group that can straddle a
+// morsel seam — to reproduce the serial operator's output exactly.
+type ParallelStreamAggregate struct {
+	parallelBreaker
+}
+
+// NewParallelStreamAggregate builds a parallel streaming aggregation over a
+// partitionable source whose rows arrive grouped on the group-by columns
+// (the same precondition as StreamAggregate). ok is false when src cannot
+// provide at least two morsels.
+func NewParallelStreamAggregate(src BatchOperator, build PipelineFunc, groupBy []int, aggs []AggSpec, workers int) (*ParallelStreamAggregate, bool) {
+	parts, build, ok := morselParts(src, build)
+	if !ok {
+		return nil, false
+	}
+	return &ParallelStreamAggregate{parallelBreaker{
+		name:    "ParallelStreamAggregate",
+		workers: workers,
+		parts:   parts,
+		schema:  aggSchemaFromCols(build(parts[0]).Schema(), groupBy, aggs),
+		morsel: func(part BatchOperator) (any, error) {
+			run := newStreamAggRun(groupBy, aggs)
+			if err := drainMorsel(build(part), run.consumeBatch); err != nil {
+				return nil, err
+			}
+			return run, nil
+		},
+		merge: func(next func() (any, bool, error)) ([]Row, error) {
+			total := newStreamAggRun(groupBy, aggs)
+			for {
+				val, ok, err := next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				total.appendRun(val.(*streamAggRun))
+			}
+			return total.finish(), nil
+		},
+	}}, true
+}
+
+// ParallelSort is the morsel-parallel form of Sort: each worker runs the
+// pipeline over whole morsels and stable-sorts each morsel's output into a
+// run, and the runs are K-way merged with ties broken by morsel order —
+// which reproduces the serial operator's stable sort exactly. Limit parents
+// consume the merged stream as usual.
+type ParallelSort struct {
+	parallelBreaker
+}
+
+// NewParallelSort builds a parallel sort over a partitionable source; build
+// clones the pipeline between the scan and the sort. ok is false when src
+// cannot provide at least two morsels.
+func NewParallelSort(src BatchOperator, build PipelineFunc, keys []SortKey, workers int) (*ParallelSort, bool) {
+	parts, build, ok := morselParts(src, build)
+	if !ok {
+		return nil, false
+	}
+	return &ParallelSort{parallelBreaker{
+		name:    "ParallelSort",
+		workers: workers,
+		parts:   parts,
+		schema:  build(parts[0]).Schema(),
+		morsel: func(part BatchOperator) (any, error) {
+			var rows []Row
+			err := drainMorsel(build(part), func(b *Batch) error {
+				rows = b.AppendRows(rows)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			stableSortRows(rows, keys)
+			return rows, nil
+		},
+		merge: func(next func() (any, bool, error)) ([]Row, error) {
+			var runs [][]Row
+			total := 0
+			for {
+				val, ok, err := next()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				if run := val.([]Row); len(run) > 0 {
+					runs = append(runs, run)
+					total += len(run)
+				}
+			}
+			return mergeSortedRuns(runs, keys, total), nil
+		},
+	}}, true
+}
+
+// runHeap is the K-way merge heap over sorted runs: the top is the run whose
+// head row sorts first, ties broken by run (morsel) order so equal keys keep
+// their input order — the stable-sort contract.
+type runHeap struct {
+	runs [][]Row
+	pos  []int
+	idx  []int // heap of run indices
+	keys []SortKey
+}
+
+func (h *runHeap) Len() int { return len(h.idx) }
+func (h *runHeap) Less(i, j int) bool {
+	a, b := h.idx[i], h.idx[j]
+	cmp := compareRows(h.runs[a][h.pos[a]], h.runs[b][h.pos[b]], h.keys)
+	if cmp != 0 {
+		return cmp < 0
+	}
+	return a < b
+}
+func (h *runHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *runHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *runHeap) Pop() any      { x := h.idx[len(h.idx)-1]; h.idx = h.idx[:len(h.idx)-1]; return x }
+
+// mergeSortedRuns K-way merges sorted runs (runs ordered by morsel sequence)
+// into one sorted row slice.
+func mergeSortedRuns(runs [][]Row, keys []SortKey, total int) []Row {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
+	}
+	h := &runHeap{runs: runs, pos: make([]int, len(runs)), keys: keys}
+	for i := range runs {
+		h.idx = append(h.idx, i)
+	}
+	heap.Init(h)
+	out := make([]Row, 0, total)
+	for h.Len() > 0 {
+		r := h.idx[0]
+		out = append(out, h.runs[r][h.pos[r]])
+		h.pos[r]++
+		if h.pos[r] >= len(h.runs[r]) {
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	return out
+}

@@ -152,6 +152,75 @@ func (s *SeqScan) Close() error {
 	return nil
 }
 
+// NumScanRows implements Morseler.
+func (s *SeqScan) NumScanRows() int64 { return s.Table.RowCount() }
+
+// Morsels implements Morseler: the table splits into leaf-page (or heap-page)
+// ranges of roughly targetRows rows each, every morsel a self-contained scan
+// over its range that preserves the encoding hints.
+func (s *SeqScan) Morsels(targetRows int) ([]BatchOperator, bool) {
+	morsels := s.Table.ScanMorsels(int64(targetRows))
+	if len(morsels) < 2 {
+		return nil, false
+	}
+	out := make([]BatchOperator, len(morsels))
+	for i, m := range morsels {
+		out[i] = &morselScan{morsel: m, cols: s.Cols, encode: s.EncodeCols, schema: s.schema}
+	}
+	return out, true
+}
+
+// morselScan scans one ScanMorsel of a table, projecting and run-encoding
+// columns exactly like the SeqScan it was split from. Each morsel owns its
+// iterator, so concurrent workers can scan disjoint morsels of one table.
+type morselScan struct {
+	morsel catalog.ScanMorsel
+	cols   []int
+	encode []int
+	schema []ColumnInfo
+
+	it *catalog.RowIterator
+}
+
+// Schema implements Operator.
+func (s *morselScan) Schema() []ColumnInfo { return s.schema }
+
+// Open implements Operator.
+func (s *morselScan) Open() error {
+	s.it = s.morsel.Iterator()
+	return nil
+}
+
+// Next implements Operator.
+func (s *morselScan) Next() (Row, bool, error) {
+	if s.it == nil {
+		return nil, false, errNotOpen("morselScan")
+	}
+	row, ok, err := s.it.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return projectRow(row, s.cols), true, nil
+}
+
+// NextBatch implements BatchOperator.
+func (s *morselScan) NextBatch() (*Batch, bool, error) {
+	if s.it == nil {
+		return nil, false, errNotOpen("morselScan")
+	}
+	b, err := fillBatchFromIterator(s.it, s.cols, s.encode)
+	if err != nil || b == nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// Close implements Operator.
+func (s *morselScan) Close() error {
+	s.it = nil
+	return nil
+}
+
 // ClusteredSeek scans the rows whose clustered-key prefix lies in a constant
 // range. It is the access path for sargable predicates on the clustered key.
 type ClusteredSeek struct {

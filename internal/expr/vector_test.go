@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -322,3 +323,77 @@ func TestEvalVectorColumnOutOfRange(t *testing.T) {
 		t.Fatal("expected out-of-range error from SelectVector")
 	}
 }
+
+// TestParallelConcurrentKernels is the concurrent-readers regression test
+// for the vectorized kernels: parallel pipeline clones share expression
+// trees and (via morsel batches) may share compressed vectors, so
+// SelectVector and EvalVector must be pure over both. Eight goroutines
+// hammer the same vectors with the same shared predicate and must all get
+// the serial answer (run under -race in CI).
+func TestParallelConcurrentKernels(t *testing.T) {
+	n := 4096
+	vals := make([]value.Value, n)
+	for i := range vals {
+		vals[i] = value.NewInt(int64(i / 131))
+	}
+	dict := []value.Value{value.NewInt(5), value.NewInt(11), value.NewInt(17)}
+	codes := make([]uint32, n)
+	for i := range codes {
+		codes[i] = uint32(i % len(dict))
+	}
+	sharedCols := [][]*vector.Vector{
+		{vector.Compress(vals)},
+		{vector.NewDict(dict, codes)},
+		{vector.NewConst(value.NewInt(9), n)},
+	}
+	pred := NewBinary(OpAnd,
+		NewBinary(OpGe, NewColumn(0, "c"), NewConst(value.NewInt(4))),
+		NewBinary(OpLt, NewColumn(0, "c"), NewConst(value.NewInt(14))))
+	for _, cols := range sharedCols {
+		wantSel, err := SelectVector(pred, cols, nil, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantVec, err := EvalVector(pred, cols, nil, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFlat := wantVec.Flat()
+		done := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			go func() {
+				for iter := 0; iter < 20; iter++ {
+					sel, err := SelectVector(pred, cols, nil, n)
+					if err != nil {
+						done <- err
+						return
+					}
+					if len(sel) != len(wantSel) {
+						done <- errorf("selection length %d, want %d", len(sel), len(wantSel))
+						return
+					}
+					vec, err := EvalVector(pred, cols, nil, n)
+					if err != nil {
+						done <- err
+						return
+					}
+					flat := vec.Flat()
+					for i := 0; i < n; i += 111 {
+						if flat[i].Kind != wantFlat[i].Kind || (!flat[i].IsNull() && value.Compare(flat[i], wantFlat[i]) != 0) {
+							done <- errorf("row %d: %v, want %v", i, flat[i], wantFlat[i])
+							return
+						}
+					}
+				}
+				done <- nil
+			}()
+		}
+		for g := 0; g < 8; g++ {
+			if err := <-done; err != nil {
+				t.Fatalf("%v kernel under concurrency: %v", cols[0].Encoding(), err)
+			}
+		}
+	}
+}
+
+func errorf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -1,0 +1,136 @@
+package plan
+
+import (
+	"oldelephant/internal/exec"
+)
+
+// ParallelRowThreshold is the scan cardinality below which parallelization is
+// not attempted: small scans finish in well under the cost of spinning up a
+// worker pool, and morsel partitioning needs enough rows to balance.
+const ParallelRowThreshold = 8192
+
+// Parallelize rewrites a compiled operator tree for morsel-driven execution
+// with the given number of workers. It finds pipelines — a partitionable
+// scan under a stack of stateless Filter/Project operators, closed by a
+// pipeline breaker (aggregate, sort) or by the plan root — and replaces each
+// with its parallel form: per-worker pipeline clones over morsels, merged by
+// ParallelMerge (row streams, morsel order), partial-aggregate combining
+// (Hash/StreamAggregate), or an ordered K-way merge (Sort). Joins and their
+// subtrees stay serial: their inputs may be re-opened per outer row, which a
+// worker pool must not be.
+//
+// The rewrite preserves results exactly — merges re-establish serial order,
+// so a parallel plan is distinguishable from its serial form only by float
+// aggregation rounding (partials fold in morsel order) — and workers <= 1
+// returns the tree untouched, byte-for-byte the serial plan. rewrote reports
+// whether any pipeline actually went parallel, so callers can annotate the
+// plan they display.
+func Parallelize(root exec.Operator, workers int) (out exec.Operator, rewrote bool) {
+	if workers <= 1 {
+		return root, false
+	}
+	return parallelizeOp(root, workers)
+}
+
+func parallelizeOp(op exec.Operator, workers int) (exec.Operator, bool) {
+	switch t := op.(type) {
+	case *exec.Filter:
+		if par, ok := tryParallelPipeline(t, workers); ok {
+			return par, true
+		}
+		return op, rewriteInput(&t.Input, workers)
+	case *exec.Project:
+		if par, ok := tryParallelPipeline(t, workers); ok {
+			return par, true
+		}
+		return op, rewriteInput(&t.Input, workers)
+	case *exec.Limit:
+		return op, rewriteInput(&t.Input, workers)
+	case *exec.Sort:
+		if stack, src, ok := pipelineChain(t.Input); ok {
+			if par, ok := exec.NewParallelSort(src, pipelineBuilder(stack), t.Keys, workers); ok {
+				return par, true
+			}
+		}
+		return op, rewriteInput(&t.Input, workers)
+	case *exec.HashAggregate:
+		if stack, src, ok := pipelineChain(t.Input); ok {
+			if par, ok := exec.NewParallelHashAggregate(src, pipelineBuilder(stack), t.GroupBy, t.Aggs, workers); ok {
+				return par, true
+			}
+		}
+		return op, rewriteInput(&t.Input, workers)
+	case *exec.StreamAggregate:
+		if stack, src, ok := pipelineChain(t.Input); ok {
+			if par, ok := exec.NewParallelStreamAggregate(src, pipelineBuilder(stack), t.GroupBy, t.Aggs, workers); ok {
+				return par, true
+			}
+		}
+		return op, rewriteInput(&t.Input, workers)
+	default:
+		// Joins, scans, values, subquery bridges: leave the subtree serial.
+		return op, false
+	}
+}
+
+// rewriteInput parallelizes a container operator's input in place.
+func rewriteInput(input *exec.Operator, workers int) bool {
+	out, rewrote := parallelizeOp(*input, workers)
+	*input = out
+	return rewrote
+}
+
+// tryParallelPipeline replaces a bare Filter/Project stack over a
+// partitionable scan (no breaker in between) with a ParallelMerge.
+func tryParallelPipeline(top exec.Operator, workers int) (exec.Operator, bool) {
+	stack, src, ok := pipelineChain(top)
+	if !ok {
+		return nil, false
+	}
+	return exec.NewParallelMerge(src, pipelineBuilder(stack), workers)
+}
+
+// pipelineChain decomposes op into the stack of stateless operators
+// (outermost first) sitting on a partitionable source big enough to bother
+// parallelizing. ok is false when the chain bottoms out anywhere else (a
+// join, an aggregate, a non-partitionable scan) or below the cardinality
+// threshold.
+func pipelineChain(op exec.Operator) (stack []exec.Operator, src exec.Morseler, ok bool) {
+	for {
+		switch t := op.(type) {
+		case *exec.Filter:
+			stack = append(stack, t)
+			op = t.Input
+		case *exec.Project:
+			stack = append(stack, t)
+			op = t.Input
+		default:
+			m, isMorseler := op.(exec.Morseler)
+			if !isMorseler || m.NumScanRows() < ParallelRowThreshold {
+				return nil, nil, false
+			}
+			return stack, m, true
+		}
+	}
+}
+
+// pipelineBuilder returns the PipelineFunc that re-instantiates the stateless
+// stack over a morsel. Clones share the (immutable) expression trees but own
+// all iteration state.
+func pipelineBuilder(stack []exec.Operator) exec.PipelineFunc {
+	if len(stack) == 0 {
+		return nil
+	}
+	return func(src exec.BatchOperator) exec.BatchOperator {
+		op := exec.AsRowOperator(src)
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch t := stack[i].(type) {
+			case *exec.Filter:
+				op = exec.NewFilter(op, t.Pred)
+			case *exec.Project:
+				op = exec.NewProject(op, t.Exprs, t.Names)
+			}
+		}
+		return exec.AsBatchOperator(op)
+	}
+}

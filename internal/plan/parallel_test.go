@@ -1,0 +1,139 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+
+	"oldelephant/internal/catalog"
+	"oldelephant/internal/exec"
+	"oldelephant/internal/storage"
+	"oldelephant/internal/value"
+)
+
+// newParallelCatalog builds a clustered table large enough to clear the
+// parallelization threshold (ParallelRowThreshold rows spread over many leaf
+// pages).
+func newParallelCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New(storage.NewPager(0), -1)
+	tbl, err := c.CreateTable("big", []catalog.Column{
+		{Name: "id", Kind: value.KindInt},
+		{Name: "grp", Kind: value.KindInt},
+		{Name: "amount", Kind: value.KindFloat},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]value.Value
+	for i := 0; i < 3*ParallelRowThreshold; i++ {
+		rows = append(rows, []value.Value{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i % 40)),
+			value.NewFloat(float64(i % 1000)),
+		})
+	}
+	if err := tbl.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestParallelizePlacesParallelOperators pins where the rewrite fires: a
+// scan-filter-aggregate pipeline becomes a parallel aggregate, a bare
+// scan-filter pipeline a ParallelMerge, ORDER BY a ParallelSort under the
+// serial Limit, and a sub-threshold table stays serial. Without this pin a
+// regression could silently turn every "parallel" differential run back into
+// serial-vs-serial.
+func TestParallelizePlacesParallelOperators(t *testing.T) {
+	c := newParallelCatalog(t)
+	cases := []struct {
+		query string
+		want  string // type of the operator found at/under the rewritten root
+	}{
+		{"SELECT grp, COUNT(*), SUM(amount) FROM big WHERE amount > 10 GROUP BY grp", "*exec.ParallelHashAggregate"},
+		{"SELECT id, amount FROM big WHERE amount > 990", "*exec.ParallelMerge"},
+		{"SELECT id, amount FROM big WHERE amount > 990 ORDER BY amount DESC LIMIT 5", "*exec.ParallelSort"},
+		{"SELECT id, grp FROM big", "*exec.ParallelMerge"},
+	}
+	for _, tc := range cases {
+		pl := planFor(t, c, tc.query)
+		root, rewrote := Parallelize(pl.Root, 4)
+		if !rewrote {
+			t.Errorf("%s: Parallelize reported no rewrite", tc.query)
+		}
+		if got := findOperatorType(root, tc.want); !got {
+			t.Errorf("%s:\nrewritten plan has no %s (root %T)", tc.query, tc.want, root)
+		}
+	}
+
+	// Parallelism 1 must return the identical tree, untouched.
+	pl := planFor(t, c, cases[0].query)
+	if got, rewrote := Parallelize(pl.Root, 1); got != pl.Root || rewrote {
+		t.Errorf("Parallelize(root, 1) rebuilt the tree")
+	}
+
+	// A streaming aggregate over the clustered order parallelizes with seam
+	// merging.
+	pl = planFor(t, c, "SELECT id, MAX(amount) FROM big GROUP BY id")
+	if _, ok := pl.Root.(*exec.Project); !ok {
+		t.Fatalf("expected Project root, got %T", pl.Root)
+	}
+	root, _ := Parallelize(pl.Root, 4)
+	if !findOperatorType(root, "*exec.ParallelStreamAggregate") {
+		t.Errorf("stream aggregation did not parallelize: %s", pl.Explain)
+	}
+}
+
+// TestParallelizeLeavesSmallScansSerial: a table below the threshold keeps
+// its serial plan.
+func TestParallelizeLeavesSmallScansSerial(t *testing.T) {
+	c := catalog.New(storage.NewPager(0), -1)
+	tbl, err := c.CreateTable("small", []catalog.Column{
+		{Name: "id", Kind: value.KindInt},
+		{Name: "grp", Kind: value.KindInt},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]value.Value
+	for i := 0; i < ParallelRowThreshold/2; i++ {
+		rows = append(rows, []value.Value{value.NewInt(int64(i)), value.NewInt(int64(i % 5))})
+	}
+	if err := tbl.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	pl := planFor(t, c, "SELECT grp, COUNT(*) FROM small GROUP BY grp")
+	root, rewrote := Parallelize(pl.Root, 4)
+	if rewrote {
+		t.Error("Parallelize reported a rewrite on a sub-threshold scan")
+	}
+	for _, typ := range []string{"*exec.ParallelHashAggregate", "*exec.ParallelStreamAggregate", "*exec.ParallelMerge", "*exec.ParallelSort"} {
+		if findOperatorType(root, typ) {
+			t.Errorf("sub-threshold scan was parallelized with %s", typ)
+		}
+	}
+}
+
+// findOperatorType walks the operator tree looking for a node whose dynamic
+// type renders as want.
+func findOperatorType(op exec.Operator, want string) bool {
+	if fmt.Sprintf("%T", op) == want {
+		return true
+	}
+	switch t := op.(type) {
+	case *exec.Filter:
+		return findOperatorType(t.Input, want)
+	case *exec.Project:
+		return findOperatorType(t.Input, want)
+	case *exec.Limit:
+		return findOperatorType(t.Input, want)
+	case *exec.Sort:
+		return findOperatorType(t.Input, want)
+	case *exec.HashAggregate:
+		return findOperatorType(t.Input, want)
+	case *exec.StreamAggregate:
+		return findOperatorType(t.Input, want)
+	default:
+		return false
+	}
+}

@@ -79,13 +79,26 @@ func (h *HeapFile) NumPages() int { return len(h.pageIDs) }
 
 // Scan returns an iterator over all live rows in storage order.
 func (h *HeapFile) Scan() *HeapIterator {
-	return &HeapIterator{heap: h}
+	return h.ScanPages(0, len(h.pageIDs))
+}
+
+// ScanPages returns an iterator over the live rows of count consecutive heap
+// pages starting at page index start. Concatenating the iterators of a
+// partition of the page list reproduces Scan exactly; parallel scans use it
+// to split a heap into morsels.
+func (h *HeapFile) ScanPages(start, count int) *HeapIterator {
+	end := start + count
+	if end > len(h.pageIDs) {
+		end = len(h.pageIDs)
+	}
+	return &HeapIterator{heap: h, pageIdx: start, endIdx: end}
 }
 
 // HeapIterator walks a heap file page by page, slot by slot.
 type HeapIterator struct {
 	heap    *HeapFile
 	pageIdx int
+	endIdx  int // exclusive page-index bound
 	slot    int
 	page    *Page
 }
@@ -94,7 +107,7 @@ type HeapIterator struct {
 func (it *HeapIterator) Next() (row []value.Value, rid RID, ok bool, err error) {
 	for {
 		if it.page == nil {
-			if it.pageIdx >= len(it.heap.pageIDs) {
+			if it.pageIdx >= it.endIdx {
 				return nil, RID{}, false, nil
 			}
 			it.page = it.heap.pager.Get(it.heap.pageIDs[it.pageIdx])

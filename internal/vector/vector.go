@@ -22,6 +22,7 @@ package vector
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"oldelephant/internal/value"
 )
@@ -65,8 +66,17 @@ type Vector struct {
 	ends []int
 	// codes holds one dictionary index per row (Dict).
 	codes []uint32
-	// flat caches the decompressed form.
+	// flat holds the per-row form of a Flat vector (aliasing vals). Compressed
+	// encodings cache their decompressed form in flatCache instead, so that
+	// concurrent readers can materialize it without a data race.
 	flat []value.Value
+	// flatCache is the lazily materialized per-row form of a compressed
+	// vector. Parallel pipelines share published vectors across worker
+	// goroutines, so the first-read materialization must be race-free: readers
+	// Load, and a miss computes the (deterministic) decompression and
+	// publishes it with a Store — concurrent misses do redundant work but
+	// agree on the value.
+	flatCache atomic.Pointer[[]value.Value]
 }
 
 // NewFlat wraps per-row values as a Flat vector (no copy).
@@ -161,10 +171,16 @@ func (v *Vector) RunEndAt(i int) int {
 }
 
 // Flat returns the decompressed per-row values, materializing and caching
-// them on first use. Callers must treat the result as read-only.
+// them on first use. Callers must treat the result as read-only. Flat is safe
+// for concurrent readers: a published vector is immutable, and the lazy cache
+// is filled through an atomic pointer (racing readers may each decompress,
+// but the results are identical and one wins the publish).
 func (v *Vector) Flat() []value.Value {
-	if v.flat != nil || v.n == 0 {
+	if v.enc == Flat || v.n == 0 {
 		return v.flat
+	}
+	if cached := v.flatCache.Load(); cached != nil {
+		return *cached
 	}
 	out := make([]value.Value, v.n)
 	switch v.enc {
@@ -186,7 +202,11 @@ func (v *Vector) Flat() []value.Value {
 			out[i] = v.vals[c]
 		}
 	}
-	v.flat = out
+	if !v.flatCache.CompareAndSwap(nil, &out) {
+		// A concurrent reader published first; return its (identical) slice so
+		// every caller observes one stable backing array.
+		return *v.flatCache.Load()
+	}
 	return out
 }
 
@@ -293,6 +313,6 @@ func Compress(vals []value.Value) *Vector {
 		return NewConst(cur, n)
 	}
 	v := NewRLE(runVals, ends)
-	v.flat = vals // the flat form is already in hand; cache it for free
+	v.flatCache.Store(&vals) // the flat form is already in hand; cache it for free
 	return v
 }

@@ -184,3 +184,65 @@ func TestAppendFlatOnly(t *testing.T) {
 	}()
 	NewConst(value.NewInt(1), 3).Append(value.NewInt(2))
 }
+
+// TestParallelConcurrentFlatDecode is the concurrent-readers regression test
+// for the lazy decode cache: many goroutines hitting Flat(), Get and
+// RunEndAt on shared compressed vectors must race-cleanly agree on the
+// decompressed values (run under -race in CI). Before the cache moved to an
+// atomic pointer, the first Flat() call was a plain write-on-first-read.
+func TestParallelConcurrentFlatDecode(t *testing.T) {
+	big := make([]value.Value, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		big = append(big, value.NewInt(int64(i/97)))
+	}
+	vecs := map[string]*Vector{
+		"const": NewConst(value.NewInt(42), 4096),
+		"rle":   Compress(big),
+		"dict":  NewDict([]value.Value{value.NewInt(1), value.NewInt(2), value.NewInt(3)}, make([]uint32, 4096)),
+	}
+	if vecs["rle"].Encoding() != RLE {
+		t.Fatalf("compressed sample is %v, want rle", vecs["rle"].Encoding())
+	}
+	// Drop the Compress fast-path cache so the racing readers really decode.
+	vecs["rle"] = NewRLE(vecs["rle"].RunValues(), vecs["rle"].RunEnds())
+	for name, v := range vecs {
+		t.Run(name, func(t *testing.T) {
+			want := append([]value.Value(nil), v.Flat()...)
+			fresh := &Vector{enc: v.enc, n: v.n, vals: v.vals, ends: v.ends, codes: v.codes}
+			done := make(chan []value.Value, 8)
+			for g := 0; g < 8; g++ {
+				go func() {
+					flat := fresh.Flat()
+					for i := 0; i < fresh.Len(); i += 37 {
+						if value.Compare(fresh.Get(i), flat[i]) != 0 {
+							done <- nil
+							return
+						}
+						fresh.RunEndAt(i)
+					}
+					done <- flat
+				}()
+			}
+			var first []value.Value
+			for g := 0; g < 8; g++ {
+				flat := <-done
+				if flat == nil {
+					t.Fatal("Get disagrees with Flat under concurrency")
+				}
+				if first == nil {
+					first = flat
+				} else if &first[0] != &flat[0] {
+					t.Error("concurrent readers observed different cached backing arrays")
+				}
+			}
+			if len(first) != len(want) {
+				t.Fatalf("decoded %d values, want %d", len(first), len(want))
+			}
+			for i := range want {
+				if value.Compare(first[i], want[i]) != 0 {
+					t.Fatalf("value %d: %v, want %v", i, first[i], want[i])
+				}
+			}
+		})
+	}
+}
