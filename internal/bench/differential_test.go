@@ -174,6 +174,67 @@ func TestVectorizedRowDifferential(t *testing.T) {
 	t.Logf("compared %d (query, strategy, selectivity, mode) points", compared)
 }
 
+// joinDifferentialQueries extends the differential matrix beyond the workload
+// specs: explicit join shapes — equi-join + aggregate, join + ORDER BY/LIMIT,
+// a three-way join — run verbatim on every executor mode. floatAgg marks
+// queries whose parallel runs compare with the float tolerance (parallel
+// partial aggregates fold float sums in morsel order); everything else must
+// match the row engine exactly, order included, even in parallel.
+var joinDifferentialQueries = []struct {
+	sql      string
+	floatAgg bool
+}{
+	{"SELECT o_orderdate, COUNT(*), MAX(l_shipdate) FROM lineitem, orders WHERE l_orderkey = o_orderkey GROUP BY o_orderdate", false},
+	{"SELECT l_orderkey, l_linenumber, o_orderdate FROM lineitem, orders WHERE l_orderkey = o_orderkey AND o_orderdate > DATE '1996-06-01' ORDER BY o_orderdate, l_orderkey, l_linenumber LIMIT 200", false},
+	{"SELECT c_nationkey, COUNT(*), SUM(l_extendedprice) FROM lineitem, orders, customer WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey GROUP BY c_nationkey", true},
+	{"SELECT l_suppkey, MAX(l_shipdate) FROM lineitem, orders WHERE l_orderkey = o_orderkey AND o_orderdate > DATE '1994-06-01' GROUP BY l_suppkey ORDER BY 2 DESC, l_suppkey LIMIT 50", false},
+}
+
+// TestJoinDifferential is the result-identity proof for the vectorized hash
+// join: every join query must return the row engine's result from every
+// executor mode — flat and compressed vectors, serial and morsel-parallel
+// (where the probe pipeline parallelizes through the join and the build side
+// hashes morsel-parallel). The planner's physical choice must also be
+// identical across modes.
+func TestJoinDifferential(t *testing.T) {
+	modes, parallel := parallelModes(t)
+	ref := modes["row"]
+	others := append([]string{"flat-vector", "compressed-vector"}, parallel...)
+	compared := 0
+	for _, q := range joinDifferentialQueries {
+		rres, err := ref.Engine.Query(q.sql)
+		if err != nil {
+			t.Fatalf("row engine: %v\nSQL: %s", err, q.sql)
+		}
+		if len(rres.Rows) == 0 {
+			t.Fatalf("join probe returned no rows; fixture is degenerate\nSQL: %s", q.sql)
+		}
+		for _, name := range others {
+			vres, err := modes[name].Engine.Query(q.sql)
+			if err != nil {
+				t.Fatalf("%s: %v\nSQL: %s", name, err, q.sql)
+			}
+			if stripParallelSuffix(vres.Plan) != rres.Plan {
+				t.Errorf("%s plan differs:\n%s\n%s\nSQL: %s", name, vres.Plan, rres.Plan, q.sql)
+			}
+			if q.floatAgg && isParallelMode(name, parallel) {
+				if msg := rowsApproxEqual(vres.Rows, rres.Rows); msg != "" {
+					t.Errorf("%s results differ from row engine: %s\nSQL: %s", name, msg, q.sql)
+				}
+			} else if got, want := formatRows(vres.Rows), formatRows(rres.Rows); got != want {
+				t.Errorf("%s results differ from row engine\n%s (%d rows):\n%s\nrow (%d rows):\n%s\nSQL: %s",
+					name, name, len(vres.Rows), clip(got), len(rres.Rows), clip(want), q.sql)
+			}
+			compared++
+		}
+	}
+	// Floor: 4 join queries × (2 serial + at least 2 parallel) modes.
+	if compared < 4*4 {
+		t.Fatalf("only %d (query, mode) join points compared", compared)
+	}
+	t.Logf("compared %d (query, mode) join points", compared)
+}
+
 // stripParallelSuffix drops the " [parallel N]" annotation a parallel engine
 // appends to the plan it executed.
 func stripParallelSuffix(plan string) string {

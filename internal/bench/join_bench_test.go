@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"oldelephant/internal/engine"
+	"oldelephant/internal/value"
+)
+
+// The hash-join microbenchmarks: the same equi-join scan-filter-aggregate SQL
+// over the same loaded tables, compared across the row-at-a-time HashJoin
+// (the oracle), the serial VectorizedHashJoin, and the morsel-parallel form
+// (probe pipeline through the shared table + parallel build). The probe side
+// is fixed at 150k rows; the build side varies in size and key cardinality.
+//
+//	go test ./internal/bench -bench HashJoin
+
+const joinProbeRows = benchRows // 150k facts
+
+// joinBenchSQL joins every fact to exactly one dim row, filters ~75% of the
+// facts and aggregates into a handful of groups — the workload's Q4-Q7 shape.
+// OPTION(HASH JOIN) pins the algorithm so the benchmark cannot silently turn
+// into an index-nested-loop plan.
+const joinBenchSQL = "SELECT grp, COUNT(*), SUM(price) FROM facts, dims " +
+	"WHERE k = id AND price < 850 GROUP BY grp OPTION(HASH JOIN)"
+
+// newJoinEngine loads a facts/dims star pair: facts(fid, k, price) with k
+// uniform over the dims key range, dims(id, grp, weight) with dimRows
+// distinct keys.
+func newJoinEngine(opts engine.Options, dimRows int) (*engine.Engine, error) {
+	opts.TupleOverhead = -1
+	e := engine.New(opts)
+	if _, err := e.Execute("CREATE TABLE facts (fid INT, k INT, price FLOAT, PRIMARY KEY (fid))"); err != nil {
+		return nil, err
+	}
+	if _, err := e.Execute("CREATE TABLE dims (id INT, grp INT, weight FLOAT, PRIMARY KEY (id))"); err != nil {
+		return nil, err
+	}
+	facts := make([][]value.Value, joinProbeRows)
+	for i := range facts {
+		facts[i] = []value.Value{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i % dimRows)),
+			value.NewFloat(float64(100 + i%1000)),
+		}
+	}
+	if err := e.BulkLoad("facts", facts); err != nil {
+		return nil, err
+	}
+	dims := make([][]value.Value, dimRows)
+	for i := range dims {
+		dims[i] = []value.Value{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i % 25)),
+			value.NewFloat(float64(i)),
+		}
+	}
+	if err := e.BulkLoad("dims", dims); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// joinEngineCache memoizes the loaded engines per (row-mode, dims, workers).
+var (
+	joinEngMu    sync.Mutex
+	joinEngCache = map[string]*engine.Engine{}
+)
+
+func joinEngine(tb testing.TB, rowMode bool, dimRows, workers int) *engine.Engine {
+	tb.Helper()
+	key := fmt.Sprintf("row=%v dims=%d p=%d", rowMode, dimRows, workers)
+	joinEngMu.Lock()
+	defer joinEngMu.Unlock()
+	if e, ok := joinEngCache[key]; ok {
+		return e
+	}
+	e, err := newJoinEngine(engine.Options{DisableVectorized: rowMode, Parallelism: workers}, dimRows)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	joinEngCache[key] = e
+	return e
+}
+
+// joinBenchDims are the build-side sizes (and, since keys are unique, key
+// cardinalities) the family sweeps: a cache-resident build and one ~1/3 the
+// probe size.
+var joinBenchDims = []int{1000, 50000}
+
+func BenchmarkHashJoinRow(b *testing.B) {
+	for _, dims := range joinBenchDims {
+		b.Run(fmt.Sprintf("build-%d", dims), func(b *testing.B) {
+			runQueryBench(b, joinEngine(b, true, dims, 1), joinBenchSQL)
+		})
+	}
+}
+
+func BenchmarkHashJoinVectorized(b *testing.B) {
+	for _, dims := range joinBenchDims {
+		b.Run(fmt.Sprintf("build-%d", dims), func(b *testing.B) {
+			runQueryBench(b, joinEngine(b, false, dims, 1), joinBenchSQL)
+		})
+	}
+}
+
+// BenchmarkHashJoinParallel is the worker sweep on the large build side: the
+// probe pipeline parallelizes through the join and the build hashes
+// morsel-parallel into per-worker partitions.
+func BenchmarkHashJoinParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			runQueryBench(b, joinEngine(b, false, 50000, workers), joinBenchSQL)
+		})
+	}
+}
+
+// TestHashJoinBenchPlansAgree keeps the join benchmarks honest: every
+// benchmarked configuration must run a hash-join plan and return the
+// row-at-a-time engine's rows (serial modes exactly, parallel modes within
+// the float-sum tolerance).
+func TestHashJoinBenchPlansAgree(t *testing.T) {
+	for _, dims := range joinBenchDims {
+		want, err := joinEngine(t, true, dims, 1).Query(joinBenchSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Rows) == 0 {
+			t.Fatal("join benchmark query returned no rows")
+		}
+		if !strings.Contains(want.Plan, "HashJoin") {
+			t.Fatalf("join benchmark is not hash-joining: %s", want.Plan)
+		}
+		got, err := joinEngine(t, false, dims, 1).Query(joinBenchSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Plan != want.Plan {
+			t.Errorf("dims=%d: vectorized plan differs: %s vs %s", dims, got.Plan, want.Plan)
+		}
+		if g, w := formatRows(got.Rows), formatRows(want.Rows); g != w {
+			t.Errorf("dims=%d: serial vectorized join diverges from row engine:\n%s\nvs\n%s",
+				dims, clip(g), clip(w))
+		}
+	}
+	want, err := joinEngine(t, false, 50000, 1).Query(joinBenchSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := joinEngine(t, false, 50000, workers).Query(joinBenchSQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := rowsApproxEqual(got.Rows, want.Rows); msg != "" {
+			t.Errorf("workers=%d: parallel join plan differs from serial: %s", workers, msg)
+		}
+	}
+}

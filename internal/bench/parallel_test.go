@@ -87,6 +87,45 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelJoinDeterminism runs join plans — equi-join + aggregate and
+// join + ORDER BY/LIMIT, both with morsel-parallel probe pipelines through
+// the shared hash table and a parallel build — 25 times per parallel mode and
+// requires bit-identical results each iteration, float sums included: the
+// build merges partitions in morsel order and the probe merges emit in morsel
+// order, so workers racing for morsels must not be observable.
+func TestParallelJoinDeterminism(t *testing.T) {
+	const iterations = 25
+	probes := []string{
+		"SELECT c_nationkey, COUNT(*), SUM(l_extendedprice) FROM lineitem, orders, customer WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey GROUP BY c_nationkey",
+		"SELECT l_orderkey, l_linenumber, o_orderdate FROM lineitem, orders WHERE l_orderkey = o_orderkey AND o_orderdate > DATE '1996-06-01' ORDER BY o_orderdate, l_orderkey, l_linenumber LIMIT 200",
+	}
+	modes, parallel := parallelModes(t)
+	for _, mode := range parallel {
+		h := modes[mode]
+		for _, q := range probes {
+			var want string
+			for i := 0; i < iterations; i++ {
+				res, err := h.Engine.Query(q)
+				if err != nil {
+					t.Fatalf("%s iter %d: %v\nSQL: %s", mode, i, err, q)
+				}
+				got := formatRows(res.Rows)
+				if i == 0 {
+					if len(res.Rows) == 0 {
+						t.Fatalf("%s: join determinism probe returned no rows\nSQL: %s", mode, q)
+					}
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("%s: join results diverged between iterations 0 and %d:\n%s\nvs\n%s\nSQL: %s",
+						mode, i, clip(want), clip(got), q)
+				}
+			}
+		}
+	}
+}
+
 // TestParallelColOptMatchesSerial: the morsel-parallel ColOpt plan — the
 // projection scan partitioned into compressed row windows — returns the
 // serial compressed plan's result set for every workload query (float sums

@@ -197,6 +197,7 @@ func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) { return e.run
 func (e *Engine) runSelect(stmt *sql.SelectStmt) (*Result, error) {
 	planner := plan.NewPlanner(e.cat)
 	planner.DisableCompressed = !e.compressed
+	planner.DisableVectorized = !e.vectorized
 	pl, err := planner.PlanSelect(stmt)
 	if err != nil {
 		return nil, err
@@ -250,6 +251,7 @@ func (e *Engine) Explain(sqlText string) (string, error) {
 	}
 	planner := plan.NewPlanner(e.cat)
 	planner.DisableCompressed = !e.compressed
+	planner.DisableVectorized = !e.vectorized
 	pl, err := planner.PlanSelect(stmt)
 	if err != nil {
 		return "", err

@@ -61,6 +61,7 @@ func TestVectorizedEngineEquivalence(t *testing.T) {
 	setup := []string{
 		"CREATE TABLE t (a INT, b INT, c FLOAT, d VARCHAR, PRIMARY KEY (a))",
 		"CREATE INDEX ix_b ON t (b) INCLUDE (c)",
+		"CREATE TABLE u (k INT, label VARCHAR)",
 	}
 	queries := []string{
 		"SELECT COUNT(*) FROM t",
@@ -71,6 +72,10 @@ func TestVectorizedEngineEquivalence(t *testing.T) {
 		"SELECT DISTINCT b FROM t WHERE c > 50",
 		"SELECT b, AVG(c) FROM t WHERE d = 'x' OR b < 2 GROUP BY b",
 		"SELECT 1 + 2, 'const'",
+		// Equi-joins compile to VectorizedHashJoin on the batch engine and
+		// HashJoin on the row engine; results and plan text must be identical.
+		"SELECT label, COUNT(*), SUM(c) FROM t, u WHERE b = k GROUP BY label OPTION(HASH JOIN)",
+		"SELECT a, label FROM t, u WHERE b = k AND c > 80 ORDER BY a, label LIMIT 25 OPTION(HASH JOIN)",
 	}
 	build := func(disable bool) *Engine {
 		e := New(Options{TupleOverhead: -1, DisableVectorized: disable})
@@ -82,6 +87,14 @@ func TestVectorizedEngineEquivalence(t *testing.T) {
 		for i := 0; i < 500; i++ {
 			ins := "INSERT INTO t VALUES (" +
 				itoa(i) + ", " + itoa(i%5) + ", " + itoa(i%100) + ".5, '" + string(rune('w'+i%4)) + "')"
+			if _, err := e.Execute(ins); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// u holds duplicate join keys (two labels per key 0..4) plus keys that
+		// match nothing, so joins fan out and drop rows.
+		for i := 0; i < 14; i++ {
+			ins := "INSERT INTO u VALUES (" + itoa(i%7) + ", '" + string(rune('p'+i)) + "')"
 			if _, err := e.Execute(ins); err != nil {
 				t.Fatal(err)
 			}

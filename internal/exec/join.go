@@ -82,14 +82,21 @@ func (j *NestedLoopJoin) Close() error {
 
 // HashJoin performs an equi-join: the right (build) side is hashed on its key
 // columns, then the left (probe) side streams through. An optional residual
-// predicate is applied to the concatenated row.
+// predicate is applied to the concatenated row. It is the row-at-a-time test
+// oracle for VectorizedHashJoin, but shares the typed-key scheme: a single
+// numeric key hashes as its value.NumericSortKey word (no string encoding),
+// composite and string keys as the order-preserving encoded key, and rows
+// whose key contains NULL never match (SQL equality semantics).
 type HashJoin struct {
 	Left, Right Operator
 	LeftKeys    []int
 	RightKeys   []int
 	Residual    expr.Expr
 
-	table    map[string][]Row
+	fast     map[uint64][]Row
+	generic  map[string][]Row
+	fastOK   bool
+	keyBuf   []byte
 	leftRow  Row
 	matches  []Row
 	matchPos int
@@ -102,19 +109,12 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []int, residual expr.
 		return nil, fmt.Errorf("exec: hash join requires matching, non-empty key lists")
 	}
 	return &HashJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys,
-		Residual: residual, schema: concatSchemas(left.Schema(), right.Schema())}, nil
+		Residual: residual, fastOK: len(leftKeys) == 1,
+		schema: concatSchemas(left.Schema(), right.Schema())}, nil
 }
 
 // Schema implements Operator.
 func (j *HashJoin) Schema() []ColumnInfo { return j.schema }
-
-func hashKey(row Row, keys []int) string {
-	vals := make(Row, len(keys))
-	for i, k := range keys {
-		vals[i] = row[k]
-	}
-	return string(value.EncodeKey(nil, vals))
-}
 
 // Open implements Operator.
 func (j *HashJoin) Open() error {
@@ -125,14 +125,54 @@ func (j *HashJoin) Open() error {
 	if err != nil {
 		return err
 	}
-	j.table = make(map[string][]Row)
+	j.fast, j.generic = nil, make(map[string][]Row)
+	if j.fastOK {
+		j.fast = make(map[uint64][]Row)
+	}
 	for _, r := range rows {
-		k := hashKey(r, j.RightKeys)
-		j.table[k] = append(j.table[k], r)
+		if j.fastOK {
+			if w, ok := expr.NumericKeyWord(r[j.RightKeys[0]]); ok {
+				j.fast[w] = append(j.fast[w], r)
+				continue
+			}
+		}
+		var null bool
+		j.keyBuf, null = expr.AppendKey(j.keyBuf[:0], r, j.RightKeys)
+		if null {
+			continue // NULL keys can never satisfy the equi-join
+		}
+		j.generic[string(j.keyBuf)] = append(j.generic[string(j.keyBuf)], r)
 	}
 	j.matches = nil
 	j.matchPos = 0
 	return nil
+}
+
+// probe returns the build rows matching the probe row's key (nil for NULL keys).
+func (j *HashJoin) probe(row Row) []Row {
+	if j.fastOK {
+		if w, ok := expr.NumericKeyWord(row[j.LeftKeys[0]]); ok {
+			return j.fast[w]
+		}
+	}
+	var null bool
+	j.keyBuf, null = expr.AppendKey(j.keyBuf[:0], row, j.LeftKeys)
+	if null {
+		return nil
+	}
+	return j.generic[string(j.keyBuf)]
+}
+
+// keysCompareEqual re-checks a hash-equal pair with value.Compare: the typed
+// key word passes through float64, so two int64 keys beyond 2^53 can share a
+// bucket even though SQL '=' (exact for int-int pairs) separates them.
+func keysCompareEqual(left, right Row, leftKeys, rightKeys []int) bool {
+	for i, lk := range leftKeys {
+		if value.Compare(left[lk], right[rightKeys[i]]) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Next implements Operator.
@@ -141,6 +181,9 @@ func (j *HashJoin) Next() (Row, bool, error) {
 		for j.matchPos < len(j.matches) {
 			right := j.matches[j.matchPos]
 			j.matchPos++
+			if !keysCompareEqual(j.leftRow, right, j.LeftKeys, j.RightKeys) {
+				continue
+			}
 			out := concatRows(j.leftRow, right)
 			pass, err := expr.EvalBool(j.Residual, out)
 			if err != nil {
@@ -155,14 +198,14 @@ func (j *HashJoin) Next() (Row, bool, error) {
 			return nil, false, err
 		}
 		j.leftRow = row
-		j.matches = j.table[hashKey(row, j.LeftKeys)]
+		j.matches = j.probe(row)
 		j.matchPos = 0
 	}
 }
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
-	j.table = nil
+	j.fast, j.generic = nil, nil
 	return j.Left.Close()
 }
 
@@ -225,6 +268,18 @@ func keyOf(row Row, keys []int) Row {
 	return out
 }
 
+// keyHasNull reports whether any key column of the row is NULL. SQL equality
+// never holds for NULL, so equi-join operators skip such rows instead of
+// letting value.Compare (which orders NULL == NULL) pair them up.
+func keyHasNull(row Row, keys []int) bool {
+	for _, k := range keys {
+		if row[k].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
 func compareKeys(a, b Row) int {
 	for i := range a {
 		if cmp := value.Compare(a[i], b[i]); cmp != 0 {
@@ -252,6 +307,15 @@ func (j *MergeJoin) Next() (Row, bool, error) {
 	for {
 		if !j.leftOK {
 			return nil, false, nil
+		}
+		// NULL keys never satisfy the equi-join; skip the left row outright
+		// (right rows with NULL keys sort before every non-NULL key and are
+		// passed over by the advance loop below).
+		if keyHasNull(j.leftRow, j.LeftKeys) {
+			if err := j.advanceLeft(); err != nil {
+				return nil, false, err
+			}
+			continue
 		}
 		leftKey := keyOf(j.leftRow, j.LeftKeys)
 		// Case 1: the buffered group matches the current left key.
@@ -394,14 +458,28 @@ func evalBounds(exprs []expr.Expr, outer Row) ([]value.Value, error) {
 	return out, nil
 }
 
-func (j *IndexNestedLoopJoin) openInner(outer Row) error {
+// openInner opens the inner range probe for one outer row. opened is false
+// (with no error) when a bound expression evaluated to NULL: a NULL bound can
+// never satisfy the join's range predicate, but a raw seek would treat it as
+// the smallest key and return spurious rows, so the outer row is skipped.
+func (j *IndexNestedLoopJoin) openInner(outer Row) (opened bool, err error) {
 	lo, err := evalBounds(j.Inner.LoExprs, outer)
 	if err != nil {
-		return err
+		return false, err
 	}
 	hi, err := evalBounds(j.Inner.HiExprs, outer)
 	if err != nil {
-		return err
+		return false, err
+	}
+	for _, b := range lo {
+		if b.IsNull() {
+			return false, nil
+		}
+	}
+	for _, b := range hi {
+		if b.IsNull() {
+			return false, nil
+		}
 	}
 	var op Operator
 	if j.Inner.Index != nil {
@@ -410,14 +488,14 @@ func (j *IndexNestedLoopJoin) openInner(outer Row) error {
 		op, err = NewClusteredSeek(j.Inner.Table, lo, hi, j.Inner.LoIncl, j.Inner.HiIncl, j.Inner.Cols)
 	}
 	if err != nil {
-		return err
+		return false, err
 	}
 	if err := op.Open(); err != nil {
-		return err
+		return false, err
 	}
 	j.innerOp = op
 	j.innerOpen = true
-	return nil
+	return true, nil
 }
 
 // Next implements Operator.
@@ -429,8 +507,12 @@ func (j *IndexNestedLoopJoin) Next() (Row, bool, error) {
 				return nil, false, err
 			}
 			j.outerRow = row
-			if err := j.openInner(row); err != nil {
+			opened, err := j.openInner(row)
+			if err != nil {
 				return nil, false, err
+			}
+			if !opened {
+				continue // NULL bound: this outer row cannot match
 			}
 		}
 		for {

@@ -1,0 +1,49 @@
+package expr
+
+import (
+	"oldelephant/internal/value"
+)
+
+// Typed join/group keys. SQL equality over the engine's value domain has two
+// properties the hash operators exploit:
+//
+//   - Compare-equal numeric values (INT, FLOAT, DATE, BOOL) always share
+//     their order-preserving value.NumericSortKey word, so a single numeric
+//     key column hashes as one uint64 — no string encoding, no allocation.
+//     The converse does not quite hold: the word passes through float64, so
+//     two int64 values beyond 2^53 can share a word while Compare (exact for
+//     int-int pairs) separates them. Hash buckets therefore over-approximate
+//     equality, and the join operators re-check each hash-equal pair with
+//     value.Compare before emitting it.
+//   - NULL is never equal to anything (not even NULL), so rows whose key
+//     contains a NULL can never join and are dropped from both hash-table
+//     build and probe before any encoding happens.
+//
+// Composite and string keys fall back to the order-preserving value.EncodeKey
+// byte encoding; its numeric columns carry the same word (and the same
+// over-approximation), so the Compare re-check covers that path too.
+
+// NumericKeyWord returns the 64-bit typed key a single numeric value
+// contributes to a hash join or aggregation. ok is false for NULL (which can
+// never compare equal) and for strings (which take the encoded-key path).
+func NumericKeyWord(v value.Value) (word uint64, ok bool) {
+	if v.Kind == value.KindNull || v.Kind == value.KindString {
+		return 0, false
+	}
+	return value.NumericSortKey(v), true
+}
+
+// AppendKey appends the order-preserving composite encoding of the picked
+// columns of row to dst. null reports that at least one key value was NULL —
+// such a key can never satisfy SQL equality, so hash operators skip the row
+// instead of encoding it.
+func AppendKey(dst []byte, row []value.Value, keys []int) (out []byte, null bool) {
+	for _, k := range keys {
+		v := row[k]
+		if v.Kind == value.KindNull {
+			return dst, true
+		}
+		dst = value.AppendKeyValue(dst, v)
+	}
+	return dst, false
+}

@@ -1,0 +1,70 @@
+package expr
+
+import (
+	"bytes"
+	"testing"
+
+	"oldelephant/internal/value"
+)
+
+func TestNumericKeyWord(t *testing.T) {
+	// Values that compare equal share a word; distinct values do not.
+	pairs := [][2]value.Value{
+		{value.NewInt(7), value.NewFloat(7)},
+		{value.NewInt(0), value.NewFloat(0)},
+		{value.NewInt(-3), value.NewFloat(-3)},
+		{value.NewDate(1000), value.NewInt(1000)},
+	}
+	for _, p := range pairs {
+		a, okA := NumericKeyWord(p[0])
+		b, okB := NumericKeyWord(p[1])
+		if !okA || !okB {
+			t.Fatalf("NumericKeyWord rejected numeric values %v, %v", p[0], p[1])
+		}
+		if a != b {
+			t.Errorf("equal values %v and %v hash to different words", p[0], p[1])
+		}
+	}
+	distinct := []value.Value{value.NewInt(1), value.NewInt(2), value.NewFloat(1.5), value.NewInt(-1)}
+	seen := map[uint64]value.Value{}
+	for _, v := range distinct {
+		w, ok := NumericKeyWord(v)
+		if !ok {
+			t.Fatalf("NumericKeyWord rejected %v", v)
+		}
+		if prev, dup := seen[w]; dup {
+			t.Errorf("distinct values %v and %v collide", prev, v)
+		}
+		seen[w] = v
+	}
+	// NULL and strings take the encoded-key path.
+	if _, ok := NumericKeyWord(value.Null()); ok {
+		t.Error("NumericKeyWord accepted NULL")
+	}
+	if _, ok := NumericKeyWord(value.NewString("x")); ok {
+		t.Error("NumericKeyWord accepted a string")
+	}
+}
+
+func TestAppendKey(t *testing.T) {
+	row := []value.Value{value.NewInt(1), value.NewString("a"), value.Null()}
+	key, null := AppendKey(nil, row, []int{0, 1})
+	if null {
+		t.Fatal("AppendKey reported NULL for a non-NULL key")
+	}
+	// Matches the order-preserving EncodeKey of the same columns.
+	want := value.EncodeKey(nil, []value.Value{row[0], row[1]})
+	if !bytes.Equal(key, want) {
+		t.Errorf("AppendKey = %x, want %x", key, want)
+	}
+	// Any NULL component flags the key as unmatchable.
+	if _, null := AppendKey(nil, row, []int{0, 2}); !null {
+		t.Error("AppendKey missed a NULL key component")
+	}
+	// The buffer is reused from position 0.
+	buf := []byte("garbage")
+	key2, _ := AppendKey(buf[:0], row, []int{0, 1})
+	if !bytes.Equal(key2, want) {
+		t.Errorf("AppendKey with reused buffer = %x, want %x", key2, want)
+	}
+}

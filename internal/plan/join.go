@@ -118,9 +118,13 @@ func (p *Planner) conjunctSources(c sql.Expr, sources []*plannedSource) map[stri
 func (p *Planner) joinPair(cur *joinedRelation, s *plannedSource, avail []sql.Expr, hints []string) (*joinedRelation, error) {
 	combined := cur.sc.concat(s.sc)
 
-	// Equality keys over (cur, s).
+	// Equality keys over (cur, s). Conjuncts consumed as hash-join keys are
+	// excluded from the hash-join residual: the typed-key match enforces the
+	// identical SQL equality (NULL keys never match inside the operators), so
+	// re-evaluating them per matched row would only burn the probe hot path.
 	var leftKeys, rightKeys []int
-	for _, c := range avail {
+	keyConjunct := make([]bool, len(avail))
+	for ci, c := range avail {
 		be, ok := c.(*sql.BinExpr)
 		if !ok || be.Op != "=" {
 			continue
@@ -135,11 +139,19 @@ func (p *Planner) joinPair(cur *joinedRelation, s *plannedSource, avail []sql.Ex
 			ro, _ := s.sc.resolve(rRef)
 			leftKeys = append(leftKeys, lo)
 			rightKeys = append(rightKeys, ro)
+			keyConjunct[ci] = true
 		} else if cur.sc.has(rRef) && s.sc.has(lRef) {
 			lo, _ := cur.sc.resolve(rRef)
 			ro, _ := s.sc.resolve(lRef)
 			leftKeys = append(leftKeys, lo)
 			rightKeys = append(rightKeys, ro)
+			keyConjunct[ci] = true
+		}
+	}
+	var hashResidualAST []sql.Expr
+	for ci, c := range avail {
+		if !keyConjunct[ci] {
+			hashResidualAST = append(hashResidualAST, c)
 		}
 	}
 
@@ -239,11 +251,20 @@ func (p *Planner) joinPair(cur *joinedRelation, s *plannedSource, avail []sql.Ex
 	}
 
 	if len(leftKeys) > 0 {
-		residual, err := p.joinResidual(avail, combined)
+		residual, err := p.joinResidual(hashResidualAST, combined)
 		if err != nil {
 			return nil, err
 		}
-		join, err := exec.NewHashJoin(cur.op, s.op, leftKeys, rightKeys, residual)
+		// The hash-join algorithm has two executors: the batch-native
+		// VectorizedHashJoin (typed keys, batch probe, morsel-parallel build)
+		// for vectorized engines, and the row-at-a-time HashJoin kept as the
+		// row engine's oracle. Same algorithm, same plan description.
+		var join exec.Operator
+		if p.DisableVectorized {
+			join, err = exec.NewHashJoin(cur.op, s.op, leftKeys, rightKeys, residual)
+		} else {
+			join, err = exec.NewVectorizedHashJoin(cur.op, s.op, leftKeys, rightKeys, residual)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -271,8 +292,10 @@ func (p *Planner) joinPair(cur *joinedRelation, s *plannedSource, avail []sql.Ex
 	}, nil
 }
 
-// joinResidual binds the available conjuncts as a residual predicate over the
-// combined row (equality keys are re-checked, which is harmless).
+// joinResidual binds conjuncts as a residual predicate over the combined row.
+// Hash joins receive only the conjuncts not consumed as typed keys (the key
+// match enforces equality exactly, NULLs included); merge joins keep the full
+// list, which re-checks equality harmlessly on that hint-only path.
 func (p *Planner) joinResidual(avail []sql.Expr, combined *scope) (expr.Expr, error) {
 	return bindConjuncts(avail, combined)
 }

@@ -11,11 +11,16 @@ const ParallelRowThreshold = 8192
 
 // Parallelize rewrites a compiled operator tree for morsel-driven execution
 // with the given number of workers. It finds pipelines — a partitionable
-// scan under a stack of stateless Filter/Project operators, closed by a
-// pipeline breaker (aggregate, sort) or by the plan root — and replaces each
-// with its parallel form: per-worker pipeline clones over morsels, merged by
-// ParallelMerge (row streams, morsel order), partial-aggregate combining
-// (Hash/StreamAggregate), or an ordered K-way merge (Sort). Joins and their
+// scan under a stack of stateless Filter/Project operators and vectorized
+// hash joins, closed by a pipeline breaker (aggregate, sort) or by the plan
+// root — and replaces each with its parallel form: per-worker pipeline clones
+// over morsels, merged by ParallelMerge (row streams, morsel order),
+// partial-aggregate combining (Hash/StreamAggregate), or an ordered K-way
+// merge (Sort). A vectorized hash join is no longer a breaker: the probe-side
+// pipeline parallelizes through it (per-morsel clones share one built hash
+// table), and its build side is configured to hash morsel-parallel into
+// per-worker partitions merged in morsel order. The row-at-a-time joins
+// (NestedLoop, Merge, IndexNestedLoop, and the oracle HashJoin) and their
 // subtrees stay serial: their inputs may be re-opened per outer row, which a
 // worker pool must not be.
 //
@@ -23,13 +28,15 @@ const ParallelRowThreshold = 8192
 // so a parallel plan is distinguishable from its serial form only by float
 // aggregation rounding (partials fold in morsel order) — and workers <= 1
 // returns the tree untouched, byte-for-byte the serial plan. rewrote reports
-// whether any pipeline actually went parallel, so callers can annotate the
-// plan they display.
+// whether any pipeline or join build actually went parallel, so callers can
+// annotate the plan they display.
 func Parallelize(root exec.Operator, workers int) (out exec.Operator, rewrote bool) {
 	if workers <= 1 {
 		return root, false
 	}
-	return parallelizeOp(root, workers)
+	builds := configureJoinBuilds(root, workers)
+	out, rewrote = parallelizeOp(root, workers)
+	return out, rewrote || builds
 }
 
 func parallelizeOp(op exec.Operator, workers int) (exec.Operator, bool) {
@@ -67,10 +74,71 @@ func parallelizeOp(op exec.Operator, workers int) (exec.Operator, bool) {
 			}
 		}
 		return op, rewriteInput(&t.Input, workers)
+	case *exec.VectorizedHashJoin:
+		// A join directly under a non-pipeline parent (Limit, another join's
+		// build, the root): its own probe pipeline may still parallelize.
+		if par, ok := tryParallelPipeline(t, workers); ok {
+			return par, true
+		}
+		return op, rewriteInput(&t.Probe, workers)
 	default:
-		// Joins, scans, values, subquery bridges: leave the subtree serial.
+		// Row joins, scans, values, subquery bridges: leave the subtree serial.
 		return op, false
 	}
+}
+
+// containerInput returns the single input of a pass-through container
+// operator (Filter/Project/Limit/Sort/aggregates). Tree walks that only need
+// to descend — not rewrite per type — share it, so adding a container
+// operator means touching one place, not every walk.
+func containerInput(op exec.Operator) (exec.Operator, bool) {
+	switch t := op.(type) {
+	case *exec.Filter:
+		return t.Input, true
+	case *exec.Project:
+		return t.Input, true
+	case *exec.Limit:
+		return t.Input, true
+	case *exec.Sort:
+		return t.Input, true
+	case *exec.HashAggregate:
+		return t.Input, true
+	case *exec.StreamAggregate:
+		return t.Input, true
+	default:
+		return nil, false
+	}
+}
+
+// configureJoinBuilds walks the tree before the pipeline rewrite and asks
+// every vectorized hash join to build its hash table morsel-parallel when its
+// build side decomposes into a pipeline over a partitionable scan. It runs on
+// the original operators, so joins later absorbed into probe-side morsel
+// pipelines (whose clones share the original's build state) are configured
+// too. It reports whether any build was parallelized.
+func configureJoinBuilds(op exec.Operator, workers int) bool {
+	if in, ok := containerInput(op); ok {
+		return configureJoinBuilds(in, workers)
+	}
+	t, ok := op.(*exec.VectorizedHashJoin)
+	if !ok {
+		return false
+	}
+	found := configureJoinBuilds(t.Probe, workers)
+	// Recurse first so joins nested inside the build side configure their
+	// own builds, then decompose this join's build pipeline into per-worker
+	// partition hashing. A build side that is not a plain pipeline (an
+	// aggregate, a derived table) falls back to the general rewrite, so its
+	// own scan still parallelizes and the join drains the rewritten operator
+	// (ensure reads the Build field at execution time).
+	found = configureJoinBuilds(t.Build, workers) || found
+	if stack, src, ok := pipelineChain(t.Build); ok {
+		t.SetParallelBuild(src, pipelineBuilder(stack), workers)
+		found = true
+	} else if rewriteInput(&t.Build, workers) {
+		found = true
+	}
+	return found
 }
 
 // rewriteInput parallelizes a container operator's input in place.
@@ -90,11 +158,13 @@ func tryParallelPipeline(top exec.Operator, workers int) (exec.Operator, bool) {
 	return exec.NewParallelMerge(src, pipelineBuilder(stack), workers)
 }
 
-// pipelineChain decomposes op into the stack of stateless operators
-// (outermost first) sitting on a partitionable source big enough to bother
-// parallelizing. ok is false when the chain bottoms out anywhere else (a
-// join, an aggregate, a non-partitionable scan) or below the cardinality
-// threshold.
+// pipelineChain decomposes op into the stack of per-morsel-cloneable
+// operators (outermost first) sitting on a partitionable source big enough to
+// bother parallelizing: stateless Filter/Project operators plus vectorized
+// hash joins, whose clones probe one shared build table so the chain descends
+// through their probe side. ok is false when the chain bottoms out anywhere
+// else (a row join, an aggregate, a non-partitionable scan) or below the
+// cardinality threshold.
 func pipelineChain(op exec.Operator) (stack []exec.Operator, src exec.Morseler, ok bool) {
 	for {
 		switch t := op.(type) {
@@ -104,6 +174,9 @@ func pipelineChain(op exec.Operator) (stack []exec.Operator, src exec.Morseler, 
 		case *exec.Project:
 			stack = append(stack, t)
 			op = t.Input
+		case *exec.VectorizedHashJoin:
+			stack = append(stack, t)
+			op = t.Probe
 		default:
 			m, isMorseler := op.(exec.Morseler)
 			if !isMorseler || m.NumScanRows() < ParallelRowThreshold {
@@ -129,6 +202,10 @@ func pipelineBuilder(stack []exec.Operator) exec.PipelineFunc {
 				op = exec.NewFilter(op, t.Pred)
 			case *exec.Project:
 				op = exec.NewProject(op, t.Exprs, t.Names)
+			case *exec.VectorizedHashJoin:
+				// Per-morsel clone over this morsel's probe pipeline; the hash
+				// table is built once and shared across all clones.
+				op = t.CloneWithProbe(op)
 			}
 		}
 		return exec.AsBatchOperator(op)

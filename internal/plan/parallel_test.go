@@ -12,7 +12,7 @@ import (
 
 // newParallelCatalog builds a clustered table large enough to clear the
 // parallelization threshold (ParallelRowThreshold rows spread over many leaf
-// pages).
+// pages), plus a small and a large dimension table for join rewrites.
 func newParallelCatalog(t *testing.T) *catalog.Catalog {
 	t.Helper()
 	c := catalog.New(storage.NewPager(0), -1)
@@ -33,6 +33,34 @@ func newParallelCatalog(t *testing.T) *catalog.Catalog {
 		})
 	}
 	if err := tbl.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	dims, err := c.CreateTable("dims", []catalog.Column{
+		{Name: "dkey", Kind: value.KindInt},
+		{Name: "dname", Kind: value.KindInt},
+	}, []string{"dkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dimRows [][]value.Value
+	for i := 0; i < 40; i++ {
+		dimRows = append(dimRows, []value.Value{value.NewInt(int64(i)), value.NewInt(int64(i % 5))})
+	}
+	if err := dims.BulkLoad(dimRows); err != nil {
+		t.Fatal(err)
+	}
+	bigdims, err := c.CreateTable("bigdims", []catalog.Column{
+		{Name: "bkey", Kind: value.KindInt},
+		{Name: "bname", Kind: value.KindInt},
+	}, []string{"bkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bigDimRows [][]value.Value
+	for i := 0; i < 2*ParallelRowThreshold; i++ {
+		bigDimRows = append(bigDimRows, []value.Value{value.NewInt(int64(i)), value.NewInt(int64(i % 11))})
+	}
+	if err := bigdims.BulkLoad(bigDimRows); err != nil {
 		t.Fatal(err)
 	}
 	return c
@@ -84,6 +112,96 @@ func TestParallelizePlacesParallelOperators(t *testing.T) {
 	}
 }
 
+// TestParallelizeThroughJoins pins the join rewrite: a vectorized hash join
+// is not a pipeline breaker — the probe-side pipeline parallelizes through it
+// against the shared build table — and a partitionable build side is
+// configured for morsel-parallel hashing.
+func TestParallelizeThroughJoins(t *testing.T) {
+	c := newParallelCatalog(t)
+	cases := []struct {
+		query string
+		want  string
+	}{
+		// Join absorbed into a parallel aggregate pipeline.
+		{"SELECT dname, COUNT(*), SUM(amount) FROM big, dims WHERE grp = dkey GROUP BY dname", "*exec.ParallelHashAggregate"},
+		// Join under a bare filter pipeline.
+		{"SELECT id, dname FROM big, dims WHERE grp = dkey AND amount > 990", "*exec.ParallelMerge"},
+		// Join under ORDER BY/LIMIT.
+		{"SELECT id, amount, dname FROM big, dims WHERE grp = dkey ORDER BY amount DESC, id LIMIT 7", "*exec.ParallelSort"},
+	}
+	for _, tc := range cases {
+		pl := planFor(t, c, tc.query)
+		if !findOperatorType(pl.Root, "*exec.VectorizedHashJoin") {
+			t.Fatalf("%s: plan has no VectorizedHashJoin: %s", tc.query, pl.Explain)
+		}
+		root, rewrote := Parallelize(pl.Root, 4)
+		if !rewrote {
+			t.Errorf("%s: Parallelize reported no rewrite", tc.query)
+		}
+		if !findOperatorType(root, tc.want) {
+			t.Errorf("%s:\nrewritten plan has no %s (root %T)", tc.query, tc.want, root)
+		}
+		// The join must have been absorbed into the parallel pipeline, not
+		// left as a serial stage above it.
+		if findOperatorType(root, "*exec.VectorizedHashJoin") {
+			t.Errorf("%s: join left outside the parallel pipeline", tc.query)
+		}
+	}
+
+	// A join whose build side clears the threshold gets a morsel-parallel
+	// build; a small build side stays serial.
+	pl := planFor(t, c, "SELECT bname, COUNT(*) FROM big, bigdims WHERE grp = bkey GROUP BY bname OPTION(HASH JOIN)")
+	join := findVectorizedJoin(pl.Root)
+	if join == nil {
+		t.Fatalf("big-build query plan has no VectorizedHashJoin: %s", pl.Explain)
+	}
+	if _, rewrote := Parallelize(pl.Root, 4); !rewrote {
+		t.Error("Parallelize reported no rewrite for the big-build join")
+	}
+	if got := join.BuildParallelism(); got != 4 {
+		t.Errorf("big build side: BuildParallelism() = %d, want 4", got)
+	}
+	pl = planFor(t, c, "SELECT dname, COUNT(*) FROM big, dims WHERE grp = dkey GROUP BY dname")
+	join = findVectorizedJoin(pl.Root)
+	if join == nil {
+		t.Fatal("small-build query plan has no VectorizedHashJoin")
+	}
+	Parallelize(pl.Root, 4)
+	if got := join.BuildParallelism(); got != 1 {
+		t.Errorf("small build side: BuildParallelism() = %d, want 1 (below threshold)", got)
+	}
+
+	// A build side that is not a plain pipeline — a derived table with its own
+	// aggregate — cannot hash into per-worker partitions, but its subtree
+	// still rides the general rewrite: the join must end up draining a
+	// parallel aggregate.
+	pl = planFor(t, c, "SELECT grp, COUNT(*) FROM big, (SELECT bname FROM bigdims GROUP BY bname) d WHERE grp = bname GROUP BY grp")
+	join = findVectorizedJoin(pl.Root)
+	if join == nil {
+		t.Fatalf("derived-build query plan has no VectorizedHashJoin: %s", pl.Explain)
+	}
+	if _, rewrote := Parallelize(pl.Root, 4); !rewrote {
+		t.Error("Parallelize reported no rewrite for the derived-build join")
+	}
+	if join.BuildParallelism() != 1 {
+		t.Errorf("derived build side claims a partitioned parallel build (workers %d)", join.BuildParallelism())
+	}
+	if !findOperatorType(join.Build, "*exec.ParallelHashAggregate") && !findOperatorType(join.Build, "*exec.ParallelStreamAggregate") {
+		t.Errorf("derived build side did not parallelize its aggregate (build %T)", join.Build)
+	}
+}
+
+// findVectorizedJoin returns the first vectorized hash join in the tree.
+func findVectorizedJoin(op exec.Operator) *exec.VectorizedHashJoin {
+	if j, ok := op.(*exec.VectorizedHashJoin); ok {
+		return j
+	}
+	if in, ok := containerInput(op); ok {
+		return findVectorizedJoin(in)
+	}
+	return nil
+}
+
 // TestParallelizeLeavesSmallScansSerial: a table below the threshold keeps
 // its serial plan.
 func TestParallelizeLeavesSmallScansSerial(t *testing.T) {
@@ -120,20 +238,11 @@ func findOperatorType(op exec.Operator, want string) bool {
 	if fmt.Sprintf("%T", op) == want {
 		return true
 	}
-	switch t := op.(type) {
-	case *exec.Filter:
-		return findOperatorType(t.Input, want)
-	case *exec.Project:
-		return findOperatorType(t.Input, want)
-	case *exec.Limit:
-		return findOperatorType(t.Input, want)
-	case *exec.Sort:
-		return findOperatorType(t.Input, want)
-	case *exec.HashAggregate:
-		return findOperatorType(t.Input, want)
-	case *exec.StreamAggregate:
-		return findOperatorType(t.Input, want)
-	default:
-		return false
+	if in, ok := containerInput(op); ok {
+		return findOperatorType(in, want)
 	}
+	if j, ok := op.(*exec.VectorizedHashJoin); ok {
+		return findOperatorType(j.Probe, want)
+	}
+	return false
 }

@@ -20,6 +20,12 @@ type Planner struct {
 	// is the default; the knob exists for differential testing and
 	// row-at-a-time execution, where batches are never produced.
 	DisableCompressed bool
+	// DisableVectorized makes equi-joins compile to the row-at-a-time
+	// HashJoin instead of the default VectorizedHashJoin. The row engine sets
+	// it so its plans stay a pure row-at-a-time oracle for differential
+	// testing; the physical plan description is identical either way (same
+	// algorithm, different pull protocol).
+	DisableVectorized bool
 }
 
 // NewPlanner returns a planner over the given catalog.

@@ -118,6 +118,11 @@ func EncodeKey(dst []byte, key []Value) []byte {
 	return dst
 }
 
+// AppendKeyValue appends the order-preserving encoding of a single value — one
+// column's contribution to EncodeKey — so callers composing keys column by
+// column (hash joins, aggregation) avoid building a temporary key slice.
+func AppendKeyValue(dst []byte, v Value) []byte { return encodeKeyValue(dst, v) }
+
 func encodeKeyValue(dst []byte, v Value) []byte {
 	switch v.Kind {
 	case KindNull:
@@ -148,9 +153,14 @@ func encodeKeyValue(dst []byte, v Value) []byte {
 // float64 value, with the sign bit flipped for non-negatives and the whole
 // word complemented for negatives. Two numeric values have equal sort keys
 // exactly when they encode identically, which lets hash operators group by
-// this word instead of the full encoded key.
+// this word instead of the full encoded key. Negative zero normalizes to
+// +0.0 first: Compare orders the two equal, so they must share a key word.
 func NumericSortKey(v Value) uint64 {
-	bits := math.Float64bits(v.Float())
+	f := v.Float()
+	if f == 0 {
+		f = 0
+	}
+	bits := math.Float64bits(f)
 	if bits>>63 == 0 {
 		return bits | 1<<63
 	}

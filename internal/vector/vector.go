@@ -284,6 +284,32 @@ func (v *Vector) Map(f func(value.Value) (value.Value, error), sel []int) (*Vect
 	}
 }
 
+// Gather returns a new vector holding the values at the given physical
+// positions, in order (positions may repeat — a hash join's probe side emits
+// one entry per match). The gather is encoding-aware: a Const input stays
+// Const, a Dict input gathers only its codes and shares the dictionary, and
+// RLE/Flat inputs materialize through the cached flat form. It is the batch
+// output primitive of the vectorized join.
+func (v *Vector) Gather(idx []int32) *Vector {
+	switch v.enc {
+	case Const:
+		return NewConst(v.vals[0], len(idx))
+	case Dict:
+		codes := make([]uint32, len(idx))
+		for k, i := range idx {
+			codes[k] = v.codes[i]
+		}
+		return NewDict(v.vals, codes)
+	default:
+		flat := v.Flat()
+		out := make([]value.Value, len(idx))
+		for k, i := range idx {
+			out[k] = flat[i]
+		}
+		return NewFlat(out)
+	}
+}
+
 // Compress run-encodes per-row values when that pays off: a single run
 // becomes a Const vector, few runs become RLE, and anything else is returned
 // as a Flat vector sharing vals. The threshold (runs <= rows/2) keeps the

@@ -246,3 +246,40 @@ func TestParallelConcurrentFlatDecode(t *testing.T) {
 		})
 	}
 }
+
+// TestGather: gathering arbitrary (repeating, out-of-order) positions agrees
+// with per-position Get across every encoding, and the encoding-aware cases
+// keep their cheap forms (Const stays Const, Dict shares its dictionary).
+func TestGather(t *testing.T) {
+	vals := sampleData()
+	idx := []int32{9, 0, 0, 5, 4, 9, 2}
+	for name, v := range encodings(vals) {
+		g := v.Gather(idx)
+		if g.Len() != len(idx) {
+			t.Fatalf("%s: Gather length %d, want %d", name, g.Len(), len(idx))
+		}
+		for k, i := range idx {
+			want := v.Get(int(i))
+			got := g.Get(k)
+			if got.Kind != want.Kind || (!want.IsNull() && value.Compare(got, want) != 0) {
+				t.Errorf("%s: Gather[%d] = %v, want %v (source row %d)", name, k, got, want, i)
+			}
+		}
+	}
+	c := NewConst(value.NewInt(5), 100).Gather(idx)
+	if c.Encoding() != Const || c.Len() != len(idx) {
+		t.Errorf("Const gather lost its encoding: %v len %d", c.Encoding(), c.Len())
+	}
+	d := encodings(vals)["dict"]
+	gd := d.Gather(idx)
+	if gd.Encoding() != Dict {
+		t.Errorf("Dict gather produced %v, want dict", gd.Encoding())
+	}
+	if len(gd.DictValues()) != len(d.DictValues()) {
+		t.Errorf("Dict gather rebuilt the dictionary")
+	}
+	// Empty gather.
+	if e := d.Gather(nil); e.Len() != 0 {
+		t.Errorf("empty gather has %d rows", e.Len())
+	}
+}
