@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"oldelephant/internal/server"
+)
+
+// runClient speaks the elephantd wire protocol interactively: statements
+// terminated by ';' are sent as query requests, `\prepare name SQL` and
+// `\exec name` drive prepared statements, `\set parallelism N` and
+// `\set timeout MS` tune the session, and `\metrics` prints the server's
+// live snapshot.
+func runClient(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 64*1024), 16<<20)
+	out := bufio.NewWriter(conn)
+	enc := json.NewEncoder(out)
+
+	roundTrip := func(req server.Request) (server.Response, error) {
+		if err := enc.Encode(req); err != nil {
+			return server.Response{}, err
+		}
+		if err := out.Flush(); err != nil {
+			return server.Response{}, err
+		}
+		if !in.Scan() {
+			return server.Response{}, fmt.Errorf("connection closed: %v", in.Err())
+		}
+		var resp server.Response
+		if err := json.Unmarshal(in.Bytes(), &resp); err != nil {
+			return server.Response{}, err
+		}
+		return resp, nil
+	}
+
+	fmt.Printf("connected to %s — terminate statements with ';', commands with \\, exit with \\q\n", addr)
+	stdin := bufio.NewScanner(os.Stdin)
+	stdin.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("> ")
+	for stdin.Scan() {
+		line := strings.TrimSpace(stdin.Text())
+		switch {
+		case line == "\\q" || line == "exit" || line == "quit":
+			roundTrip(server.Request{Op: "close"})
+			return nil
+		case strings.HasPrefix(line, "\\"):
+			if err := clientCommand(line, roundTrip); err != nil {
+				return err
+			}
+			fmt.Print("> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			fmt.Print("... ")
+			continue
+		}
+		stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		buf.Reset()
+		resp, err := roundTrip(server.Request{Op: "query", SQL: stmt})
+		if err != nil {
+			return err
+		}
+		printResponse(resp)
+		fmt.Print("> ")
+	}
+	return nil
+}
+
+// clientCommand handles one backslash command.
+func clientCommand(line string, roundTrip func(server.Request) (server.Response, error)) error {
+	fields := strings.Fields(line)
+	var req server.Request
+	switch fields[0] {
+	case "\\metrics":
+		req = server.Request{Op: "metrics"}
+	case "\\ping":
+		req = server.Request{Op: "ping"}
+	case "\\prepare":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\prepare name SELECT ...")
+			return nil
+		}
+		sql := strings.TrimSuffix(strings.TrimSpace(strings.Join(fields[2:], " ")), ";")
+		req = server.Request{Op: "prepare", Name: fields[1], SQL: sql}
+	case "\\exec":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\exec name")
+			return nil
+		}
+		req = server.Request{Op: "exec", Name: fields[1]}
+	case "\\set":
+		if len(fields) != 3 {
+			fmt.Println("usage: \\set parallelism N | \\set timeout MS")
+			return nil
+		}
+		var n int
+		if _, err := fmt.Sscanf(fields[2], "%d", &n); err != nil {
+			fmt.Println("not a number:", fields[2])
+			return nil
+		}
+		req = server.Request{Op: "set"}
+		if fields[1] == "parallelism" {
+			req.Parallelism = &n
+		} else {
+			req.TimeoutMS = &n
+		}
+	default:
+		fmt.Println("commands: \\metrics \\ping \\prepare name SQL \\exec name \\set parallelism|timeout N \\q")
+		return nil
+	}
+	resp, err := roundTrip(req)
+	if err != nil {
+		return err
+	}
+	printResponse(resp)
+	return nil
+}
+
+// printResponse renders one wire response.
+func printResponse(resp server.Response) {
+	if !resp.OK {
+		fmt.Println("error:", resp.Error)
+		return
+	}
+	if resp.Metrics != nil {
+		m := resp.Metrics
+		fmt.Printf("%d queries, %.1f qps, %d running / %d queued, %d sessions\n",
+			m.Queries, m.QPS, m.Running, m.Queued, m.Sessions)
+		fmt.Printf("latency p50 %dus p95 %dus p99 %dus max %dus\n", m.P50US, m.P95US, m.P99US, m.MaxUS)
+		fmt.Printf("plan cache %.0f%% hit rate (%d hits / %d misses); io %d page reads\n",
+			100*m.CacheRate, m.CacheHits, m.CacheMiss, m.PageReads)
+		return
+	}
+	if len(resp.Columns) > 0 {
+		fmt.Println(strings.Join(resp.Columns, " | "))
+		fmt.Println(strings.Repeat("-", 4*len(resp.Columns)+8))
+		const maxRows = 50
+		for i, row := range resp.Rows {
+			if i >= maxRows {
+				fmt.Printf("... (%d more rows)\n", len(resp.Rows)-maxRows)
+				break
+			}
+			parts := make([]string, len(row))
+			for j, v := range row {
+				if v == nil {
+					parts[j] = "NULL"
+				} else {
+					parts[j] = fmt.Sprint(v)
+				}
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+	}
+	cached := ""
+	if resp.Cached {
+		cached = ", plan cached"
+	}
+	fmt.Printf("(%d rows, %dus%s)\n", resp.RowCount, resp.WallUS, cached)
+	if resp.Plan != "" {
+		fmt.Println("plan:", resp.Plan)
+	}
+}

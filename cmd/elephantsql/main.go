@@ -1,12 +1,15 @@
-// Command elephantsql is a small interactive SQL shell over the engine. It
-// optionally pre-loads TPC-H data so the paper's queries can be typed
-// directly, and it prints the chosen physical plan and I/O statistics after
-// every query — which is the quickest way to see the effect of the c-table
-// and materialized-view designs.
+// Command elephantsql is a small interactive SQL shell. By default it runs
+// an in-process engine, optionally pre-loading TPC-H data so the paper's
+// queries can be typed directly; it prints the chosen physical plan and I/O
+// statistics after every query — the quickest way to see the effect of the
+// c-table and materialized-view designs. With -connect it becomes a client
+// for a running elephantd instead, speaking the JSON wire protocol (type
+// \metrics for the server's live QPS / latency / plan-cache snapshot).
 //
 // Usage:
 //
 //	elephantsql -tpch 0.01
+//	elephantsql -connect :7654
 //	> SELECT l_suppkey, COUNT(*) FROM lineitem WHERE l_shipdate > DATE '1997-01-01' GROUP BY l_suppkey;
 package main
 
@@ -26,10 +29,17 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("elephantsql: ")
 	var (
-		sf   = flag.Float64("tpch", 0, "pre-load TPC-H core tables at this scale factor (0 = start empty)")
-		cold = flag.Bool("cold", true, "reset the buffer pool before every query (cold-cache timings)")
+		sf      = flag.Float64("tpch", 0, "pre-load TPC-H core tables at this scale factor (0 = start empty)")
+		cold    = flag.Bool("cold", true, "reset the buffer pool before every query (cold-cache timings)")
+		connect = flag.String("connect", "", "connect to a running elephantd at this address instead of running in-process")
 	)
 	flag.Parse()
+	if *connect != "" {
+		if err := runClient(*connect); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	e := engine.Default()
 	if *sf > 0 {
 		fmt.Printf("loading TPC-H at sf=%g...\n", *sf)

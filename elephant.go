@@ -24,6 +24,7 @@ import (
 	"oldelephant/internal/core/matview"
 	"oldelephant/internal/core/rewrite"
 	"oldelephant/internal/engine"
+	"oldelephant/internal/server"
 	"oldelephant/internal/tpch"
 	"oldelephant/internal/value"
 )
@@ -145,6 +146,33 @@ func (db *DB) BuildColumnProjection(name, sourceSQL string, columns []string, ki
 		return nil, err
 	}
 	return colstore.BuildProjection(name, columns, kinds, sortColumns, res.Rows)
+}
+
+// ServerOptions configure the concurrent query-serving layer (core budget,
+// admission queue bound, default timeout, slow-query threshold).
+type ServerOptions = server.Options
+
+// Server is the concurrent query-serving subsystem: sessions, prepared
+// statements over the shared plan cache, admission control and metrics. See
+// the server package for the session API and the wire protocol.
+type Server = server.Server
+
+// ServerSession is one client's serving-layer state.
+type ServerSession = server.Session
+
+// Serve wraps the database in a query server. The engine stays usable
+// directly; the server adds sessions, admission control and metrics over the
+// same catalog, buffer pool and plan cache. Use srv.Session() for in-process
+// clients and srv.Serve(listener) for the TCP JSON protocol (cmd/elephantd
+// is exactly that plus flags and signal handling).
+func (db *DB) Serve(opts ServerOptions) *Server {
+	return server.New(db.Engine, opts)
+}
+
+// Prepare parses a SELECT once into a reusable handle whose executions lease
+// compiled plans from the shared plan cache (see Engine.QueryPrepared).
+func (db *DB) Prepare(sqlText string) (*engine.Prepared, error) {
+	return db.Engine.Prepare(sqlText)
 }
 
 // Benchmark types re-exported for the harness that reproduces the paper's

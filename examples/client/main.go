@@ -1,0 +1,81 @@
+// Example client: start a serving instance in-process, talk to it over both
+// the in-process session API and the TCP wire protocol, and read the
+// server's metrics — the minimal end-to-end tour of the serving layer
+// (sessions, prepared statements, the plan cache and admission control).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+
+	elephant "oldelephant"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// An engine with a little TPC-H data, wrapped by a server: 2 cores of
+	// budget shared by all concurrent queries.
+	db := elephant.Open(elephant.Options{})
+	if err := db.LoadTPCH(0.005); err != nil {
+		log.Fatal(err)
+	}
+	srv := db.Serve(elephant.ServerOptions{CoreBudget: 2})
+	defer srv.Close()
+
+	// In-process session: ad-hoc query, then a prepared statement executed
+	// twice — the second execution leases the cached plan.
+	sess, err := srv.Session()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	res, err := sess.Query("SELECT COUNT(*) FROM lineitem")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lineitem rows: %s\n", res.Rows[0][0])
+
+	if err := sess.Prepare("daily", "SELECT l_shipdate, COUNT(*) FROM lineitem WHERE l_shipdate > DATE '1997-06-01' GROUP BY l_shipdate"); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err = sess.ExecPrepared("daily")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("daily counts: %d groups (plan cached: %v)\n", len(res.Rows), res.Stats.PlanCached)
+	}
+
+	// Wire protocol: the same server on a TCP listener, one JSON request per
+	// line. This is exactly what `elephantsql -connect` speaks.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, `{"op":"query","sql":"SELECT c_nationkey, COUNT(*) FROM customer GROUP BY c_nationkey"}`+"\n")
+	var resp struct {
+		OK       bool    `json:"ok"`
+		RowCount int     `json:"row_count"`
+		WallUS   int64   `json:"wall_us"`
+		Rows     [][]any `json:"rows"`
+	}
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wire query: ok=%v, %d nations in %dus\n", resp.OK, resp.RowCount, resp.WallUS)
+
+	// Server health: QPS, latency percentiles, plan-cache hit rate.
+	m := srv.Metrics()
+	fmt.Printf("served %d queries, p50 %v, plan-cache hit rate %.0f%%\n",
+		m.Queries, m.P50, 100*m.PlanCache.HitRate())
+}

@@ -25,7 +25,7 @@ func cachedHarness(t *testing.T, mutate func(*Config)) *Harness {
 	t.Helper()
 	cfg := DefaultConfig()
 	mutate(&cfg)
-	key := fmt.Sprintf("vec=%v comp=%v par=%d", !cfg.DisableVectorized, !cfg.DisableCompressed, cfg.Parallelism)
+	key := fmt.Sprintf("vec=%v comp=%v par=%d cache=%v", !cfg.DisableVectorized, !cfg.DisableCompressed, cfg.Parallelism, cfg.PlanCache)
 	harnessCacheMu.Lock()
 	defer harnessCacheMu.Unlock()
 	if h, ok := harnessCache[key]; ok {

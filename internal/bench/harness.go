@@ -89,6 +89,11 @@ type Config struct {
 	// against the paper's single-core setting unless parallelism is asked
 	// for); values > 1 enable parallel execution.
 	Parallelism int
+	// PlanCache enables the engine's shared plan cache. Off by default —
+	// measurements must pay lex/parse/plan on every run the way every prior
+	// number was taken — and turned on by the serving-layer tests and the
+	// multi-client throughput benchmark, where plan reuse is the point.
+	PlanCache bool
 }
 
 // DefaultConfig returns the configuration used by the checked-in benchmarks.
@@ -139,6 +144,7 @@ func NewHarness(cfg Config) (*Harness, error) {
 		DisableVectorized: cfg.DisableVectorized,
 		DisableCompressed: cfg.DisableCompressed,
 		Parallelism:       cfg.Parallelism,
+		DisablePlanCache:  !cfg.PlanCache,
 	})
 	gen := tpch.NewGenerator(cfg.SF)
 	if err := gen.LoadCore(e); err != nil {

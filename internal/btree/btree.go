@@ -9,12 +9,18 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"oldelephant/internal/storage"
 )
 
 // BTree is a B+-tree rooted at a page. Duplicate keys are allowed; entries
 // with equal keys are returned in insertion order.
+//
+// Reads (Scan, Seek, LeafPages, morsel iterators) are safe to run from
+// concurrent goroutines as long as no mutation (Insert, Delete, BulkLoad)
+// runs at the same time — the serving layer's reader/writer isolation; page
+// accesses themselves are serialized by the pager.
 type BTree struct {
 	pager    *storage.Pager
 	root     storage.PageID
@@ -23,7 +29,9 @@ type BTree struct {
 	overhead int // per-leaf-entry overhead bytes, emulating the row header
 	// leafCache memoizes LeafPages so morsel partitioning does not re-walk
 	// the leaf chain on every query; any structural mutation invalidates it.
-	leafCache []storage.PageID
+	// It is an atomic pointer because concurrent read-only queries race to
+	// fill it (two sessions planning parallel scans of one table).
+	leafCache atomic.Pointer[[]storage.PageID]
 }
 
 // entry is one (key, payload) pair inside a node. In internal nodes the
@@ -174,7 +182,7 @@ func (t *BTree) Insert(key, val []byte) error {
 	if len(key)+len(val) > usableBytes/4 {
 		return fmt.Errorf("btree: entry of %d bytes is too large", len(key)+len(val))
 	}
-	t.leafCache = nil
+	t.leafCache.Store(nil)
 	promoted, newChild, err := t.insertInto(t.root, key, val)
 	if err != nil {
 		return err
@@ -300,7 +308,7 @@ func lowerBound(entries []entry, key []byte) int {
 // removed. Nodes are not rebalanced: the workload is read-mostly and
 // underfull nodes only waste space, never correctness.
 func (t *BTree) Delete(key []byte) bool {
-	t.leafCache = nil
+	t.leafCache.Store(nil)
 	id := t.leafFor(key)
 	for id != storage.InvalidPageID {
 		pg := t.pager.Get(id)
@@ -323,29 +331,50 @@ func (t *BTree) Delete(key []byte) bool {
 	return false
 }
 
+// recordKeyVal splits one node record into its key and payload without
+// materializing the whole node — the descent fast path.
+func recordKeyVal(rec []byte) (key, val []byte) {
+	klen, sz := binary.Uvarint(rec[1:])
+	keyStart := 1 + sz
+	return rec[keyStart : keyStart+int(klen)], rec[keyStart+int(klen):]
+}
+
 // leafFor descends to the first leaf that may contain key. Routing uses a
 // strict comparison so that, with duplicate keys split across leaves, the
 // leftmost occurrence is always reachable (iterators follow leaf links).
+// Each internal node is binary-searched through its slot directory directly
+// — O(log fanout) record parses per level instead of materializing every
+// entry, which is what keeps a point seek's descent cheap enough for the
+// serving layer's prepared-statement hot path.
 func (t *BTree) leafFor(key []byte) storage.PageID {
 	id := t.root
 	for {
 		pg := t.pager.Get(id)
-		isLeaf, entries, extra := readNode(pg)
-		if isLeaf {
+		n := pg.NumSlots()
+		if n == 0 {
+			return id // only an empty root leaf has no records
+		}
+		first := pg.Record(0)
+		if first == nil || first[0] == recLeaf {
 			return id
 		}
-		childIdx := -1
-		for i := range entries {
-			if bytes.Compare(entries[i].key, key) < 0 {
-				childIdx = i
+		// Find the number of separators strictly below key; the child left
+		// of that position covers the key.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			k, _ := recordKeyVal(pg.Record(mid))
+			if bytes.Compare(k, key) < 0 {
+				lo = mid + 1
 			} else {
-				break
+				hi = mid
 			}
 		}
-		if childIdx == -1 {
-			id = storage.PageID(extra)
+		if lo == 0 {
+			id = storage.PageID(pg.Aux()) // leftmost child
 		} else {
-			id = childID(entries[childIdx].val)
+			_, val := recordKeyVal(pg.Record(lo - 1))
+			id = childID(val)
 		}
 	}
 }
@@ -432,8 +461,8 @@ func (t *BTree) Scan() *Iterator {
 // the next structural mutation, so repeated queries do not re-pay it.
 // Callers must treat the result as read-only.
 func (t *BTree) LeafPages() []storage.PageID {
-	if t.leafCache != nil {
-		return t.leafCache
+	if cached := t.leafCache.Load(); cached != nil {
+		return *cached
 	}
 	var out []storage.PageID
 	for id := t.firstLeaf(); id != storage.InvalidPageID; {
@@ -442,8 +471,57 @@ func (t *BTree) LeafPages() []storage.PageID {
 		_, _, extra := readNode(pg)
 		id = storage.PageID(extra)
 	}
-	t.leafCache = out
+	t.leafCache.Store(&out)
 	return out
+}
+
+// LeafRange returns the ids of the consecutive leaf pages that can contain
+// keys in [start, stop] — the leaf that Seek(start, ...) would begin on
+// through the last leaf whose first key does not pass the stop bound. It is
+// how parallel range scans partition a seek into morsels: each morsel is a
+// run of consecutive leaves handed to SeekLeaves. nil bounds are open (nil
+// start begins at the first leaf; nil stop ends at the last). The walk reads
+// only the leaves of the range, plus one root-to-leaf descent.
+func (t *BTree) LeafRange(start, stop []byte, stopIncl bool) []storage.PageID {
+	var out []storage.PageID
+	id := t.firstLeaf()
+	if start != nil {
+		id = t.leafFor(start)
+	}
+	for id != storage.InvalidPageID {
+		pg := t.pager.Get(id)
+		_, entries, extra := readNode(pg)
+		if stop != nil && len(entries) > 0 {
+			cmp := bytes.Compare(entries[0].key, stop)
+			if cmp > 0 || (cmp == 0 && !stopIncl) {
+				break
+			}
+		}
+		out = append(out, id)
+		id = storage.PageID(extra)
+	}
+	return out
+}
+
+// SeekLeaves returns an iterator over the entries of count consecutive leaf
+// pages starting at start (a page id from LeafRange), bounded above by the
+// stop key exactly like Seek. A non-nil startKey positions the iterator at
+// the first entry >= startKey within the first leaf — the form used by the
+// first morsel of a partitioned seek; later morsels pass nil and start at
+// their leaf's first entry. Concatenating the iterators of a partition of
+// LeafRange(start, stop, stopIncl) — startKey on the first, nil on the rest —
+// reproduces Seek(start, stop, stopIncl) exactly.
+func (t *BTree) SeekLeaves(start storage.PageID, count int, startKey, stop []byte, stopIncl bool) *Iterator {
+	it := &Iterator{tree: t, stopKey: stop, stopIncl: stopIncl, leaf: start, leavesLeft: count}
+	if startKey != nil && count > 0 {
+		pg := t.pager.Get(start)
+		_, entries, extra := readNode(pg)
+		it.entries = entries
+		it.pos = lowerBound(entries, startKey)
+		it.leaf = storage.PageID(extra)
+		it.leavesLeft = count - 1
+	}
+	return it
 }
 
 // ScanLeaves returns an iterator over the entries of count consecutive leaf
@@ -486,7 +564,7 @@ func (t *BTree) Get(key []byte) ([]byte, bool) {
 // table loading and c-table construction. It returns an error if the input
 // is not sorted.
 func (t *BTree) BulkLoad(next func() (key, val []byte, ok bool), fillFactor float64) error {
-	t.leafCache = nil
+	t.leafCache.Store(nil)
 	if fillFactor <= 0 || fillFactor > 1 {
 		fillFactor = 1.0
 	}

@@ -397,6 +397,151 @@ func (t *Table) ScanMorsels(targetRows int64) []ScanMorsel {
 	return out
 }
 
+// SeekLeafRange describes the run of consecutive B+-tree leaf pages a range
+// seek touches, bounded by the seek's stop key. It is computed once so a
+// parallel rewrite can first size the range (EstRows, the parallelization
+// threshold input) and then partition it into morsels without re-walking the
+// chain. The zero leaves case is an empty range.
+type SeekLeafRange struct {
+	tree        *btree.BTree
+	leaves      []storage.PageID
+	startKey    []byte // position within the first leaf; nil = leaf start
+	stopKey     []byte
+	stopIncl    bool
+	rowsPerLeaf int64
+}
+
+// newSeekLeafRange walks the leaf chain of a tree between encoded key bounds.
+func newSeekLeafRange(tree *btree.BTree, lo, hi []value.Value, loIncl, hiIncl bool) *SeekLeafRange {
+	start, stop, stopIncl := encodeRange(lo, hi, loIncl, hiIncl)
+	r := &SeekLeafRange{
+		tree:     tree,
+		leaves:   tree.LeafRange(start, stop, stopIncl),
+		startKey: start,
+		stopKey:  stop,
+		stopIncl: stopIncl,
+	}
+	if nleaves := len(tree.LeafPages()); nleaves > 0 {
+		r.rowsPerLeaf = tree.Count() / int64(nleaves)
+	}
+	if r.rowsPerLeaf < 1 {
+		r.rowsPerLeaf = 1
+	}
+	return r
+}
+
+// EstRows estimates the number of rows in the range from its leaf count and
+// the tree's average leaf fill. Morsel partitioning needs only the order of
+// magnitude: the estimate decides whether the range is worth parallelizing
+// and how many leaves each morsel gets.
+func (r *SeekLeafRange) EstRows() int64 {
+	return int64(len(r.leaves)) * r.rowsPerLeaf
+}
+
+// TreeSeekMorsel is one morsel of a partitioned range seek: a run of
+// consecutive leaves, the shared stop bound, and — on the first morsel only —
+// the start key positioning within the first leaf. Like ScanMorsel it is a
+// cheap descriptor; each Iterator call opens fresh cursor state, so distinct
+// morsels can be consumed by concurrent workers.
+type TreeSeekMorsel struct {
+	r         *SeekLeafRange
+	leafStart storage.PageID
+	leafCount int
+	first     bool
+}
+
+func (m TreeSeekMorsel) iterator() *btree.Iterator {
+	var startKey []byte
+	if m.first {
+		startKey = m.r.startKey
+	}
+	return m.r.tree.SeekLeaves(m.leafStart, m.leafCount, startKey, m.r.stopKey, m.r.stopIncl)
+}
+
+// partition splits the leaf range into morsels of roughly targetRows rows
+// each. Concatenating the morsels' iterators in slice order reproduces the
+// serial seek exactly; nil when the range is empty.
+func (r *SeekLeafRange) partition(targetRows int64) []TreeSeekMorsel {
+	if len(r.leaves) == 0 {
+		return nil
+	}
+	if targetRows < 1 {
+		targetRows = 1
+	}
+	per := int(targetRows / r.rowsPerLeaf)
+	if per < 1 {
+		per = 1
+	}
+	var out []TreeSeekMorsel
+	for i := 0; i < len(r.leaves); i += per {
+		n := per
+		if i+n > len(r.leaves) {
+			n = len(r.leaves) - i
+		}
+		out = append(out, TreeSeekMorsel{r: r, leafStart: r.leaves[i], leafCount: n, first: i == 0})
+	}
+	return out
+}
+
+// ClusteredSeekRange computes the leaf range of a clustered-key prefix seek
+// (same bounds semantics as SeekClustered).
+func (t *Table) ClusteredSeekRange(lo, hi []value.Value, loIncl, hiIncl bool) (*SeekLeafRange, error) {
+	if t.Clustered == nil {
+		return nil, fmt.Errorf("catalog: table %q has no clustered index", t.Name)
+	}
+	return newSeekLeafRange(t.Clustered.tree, lo, hi, loIncl, hiIncl), nil
+}
+
+// ClusteredSeekMorsel is one morsel of a partitioned clustered range seek.
+type ClusteredSeekMorsel struct {
+	table  *Table
+	morsel TreeSeekMorsel
+}
+
+// Iterator returns a fresh row iterator over the morsel's range slice.
+func (m ClusteredSeekMorsel) Iterator() *RowIterator {
+	return &RowIterator{table: m.table, tree: m.morsel.iterator()}
+}
+
+// ClusteredSeekMorsels partitions a precomputed seek range into row morsels
+// of roughly targetRows rows each.
+func (t *Table) ClusteredSeekMorsels(r *SeekLeafRange, targetRows int64) []ClusteredSeekMorsel {
+	parts := r.partition(targetRows)
+	out := make([]ClusteredSeekMorsel, len(parts))
+	for i, p := range parts {
+		out[i] = ClusteredSeekMorsel{table: t, morsel: p}
+	}
+	return out
+}
+
+// SeekRange computes the leaf range of an index-key prefix seek (same bounds
+// semantics as Seek).
+func (ix *Index) SeekRange(lo, hi []value.Value, loIncl, hiIncl bool) *SeekLeafRange {
+	return newSeekLeafRange(ix.tree, lo, hi, loIncl, hiIncl)
+}
+
+// IndexSeekMorsel is one morsel of a partitioned secondary-index range seek.
+type IndexSeekMorsel struct {
+	index  *Index
+	morsel TreeSeekMorsel
+}
+
+// Iterator returns a fresh entry iterator over the morsel's range slice.
+func (m IndexSeekMorsel) Iterator() *IndexIterator {
+	return &IndexIterator{index: m.index, it: m.morsel.iterator()}
+}
+
+// SeekMorsels partitions a precomputed index seek range into entry morsels of
+// roughly targetRows entries each.
+func (ix *Index) SeekMorsels(r *SeekLeafRange, targetRows int64) []IndexSeekMorsel {
+	parts := r.partition(targetRows)
+	out := make([]IndexSeekMorsel, len(parts))
+	for i, p := range parts {
+		out[i] = IndexSeekMorsel{index: ix, morsel: p}
+	}
+	return out
+}
+
 // LookupRID fetches a heap row by RID (heap tables only).
 func (t *Table) LookupRID(rid storage.RID) ([]value.Value, error) {
 	if t.heap == nil {

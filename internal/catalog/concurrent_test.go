@@ -1,0 +1,263 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"oldelephant/internal/storage"
+	"oldelephant/internal/value"
+)
+
+// newSeekTable builds a clustered table (id, grp, amount) with a covering
+// secondary index on (grp, id), large enough to span many leaf pages.
+func newSeekTable(t *testing.T, rows int) (*Catalog, *Table, *Index) {
+	t.Helper()
+	c := New(storage.NewPager(0), -1)
+	tbl, err := c.CreateTable("items", []Column{
+		{Name: "id", Kind: value.KindInt},
+		{Name: "grp", Kind: value.KindInt},
+		{Name: "amount", Kind: value.KindFloat},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]value.Value, rows)
+	for i := range data {
+		data[i] = []value.Value{
+			value.NewInt(int64(i)),
+			value.NewInt(int64(i % 50)),
+			value.NewFloat(float64(i % 997)),
+		}
+	}
+	if err := tbl.BulkLoad(data); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := c.CreateIndex("items_grp", "items", []string{"grp", "id"}, []string{"amount"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl, ix
+}
+
+// drainRows concatenates a list of row iterators.
+func drainRows(t *testing.T, its []*RowIterator) []string {
+	t.Helper()
+	var out []string
+	for _, it := range its {
+		for {
+			row, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			out = append(out, fmt.Sprint(row))
+		}
+	}
+	return out
+}
+
+// TestClusteredSeekMorselsReproduceSeek: for a sweep of bound shapes,
+// concatenating a partitioned seek's morsel iterators equals the serial
+// SeekClustered stream exactly.
+func TestClusteredSeekMorselsReproduceSeek(t *testing.T) {
+	_, tbl, _ := newSeekTable(t, 20000)
+	iv := func(n int64) []value.Value { return []value.Value{value.NewInt(n)} }
+	cases := []struct {
+		name           string
+		lo, hi         []value.Value
+		loIncl, hiIncl bool
+	}{
+		{"interior", iv(3000), iv(12000), true, true},
+		{"exclusive", iv(3000), iv(12000), false, false},
+		{"open-lo", nil, iv(9000), false, true},
+		{"open-hi", iv(15000), nil, true, false},
+		{"equality", iv(7777), iv(7777), true, true},
+		{"empty", iv(25000), iv(30000), true, true},
+	}
+	for _, tc := range cases {
+		serial, err := tbl.SeekClustered(tc.lo, tc.hi, tc.loIncl, tc.hiIncl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drainRows(t, []*RowIterator{serial})
+		rng, err := tbl.ClusteredSeekRange(tc.lo, tc.hi, tc.loIncl, tc.hiIncl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range []int64{500, 2000, 1 << 30} {
+			morsels := tbl.ClusteredSeekMorsels(rng, target)
+			its := make([]*RowIterator, len(morsels))
+			for i, m := range morsels {
+				its[i] = m.Iterator()
+			}
+			got := drainRows(t, its)
+			if len(got) != len(want) {
+				t.Errorf("%s target=%d: got %d rows, want %d (over %d morsels)",
+					tc.name, target, len(got), len(want), len(morsels))
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("%s target=%d: row %d = %s, want %s", tc.name, target, i, got[i], want[i])
+					break
+				}
+			}
+		}
+		// The row estimate must be in the right ballpark for non-empty
+		// interior ranges (it gates parallelization).
+		if tc.name == "interior" {
+			est := rng.EstRows()
+			if est < int64(len(want))/2 || est > 2*int64(len(want))+1000 {
+				t.Errorf("interior range EstRows = %d for %d actual rows", est, len(want))
+			}
+		}
+	}
+}
+
+// TestIndexSeekMorselsReproduceSeek: same contract for secondary-index seeks
+// (entries, including the duplicate-key runs a grp index has).
+func TestIndexSeekMorselsReproduceSeek(t *testing.T) {
+	_, _, ix := newSeekTable(t, 20000)
+	iv := func(n int64) []value.Value { return []value.Value{value.NewInt(n)} }
+	cases := []struct {
+		name           string
+		lo, hi         []value.Value
+		loIncl, hiIncl bool
+	}{
+		{"range", iv(10), iv(30), true, true},
+		{"equality", iv(25), iv(25), true, true},
+		{"open-lo", nil, iv(5), false, true},
+		{"empty", iv(60), iv(70), true, true},
+	}
+	drainEntries := func(its []*IndexIterator) []string {
+		var out []string
+		for _, it := range its {
+			for {
+				e, ok, err := it.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				out = append(out, fmt.Sprint(e.Values))
+			}
+		}
+		return out
+	}
+	for _, tc := range cases {
+		want := drainEntries([]*IndexIterator{ix.Seek(tc.lo, tc.hi, tc.loIncl, tc.hiIncl)})
+		rng := ix.SeekRange(tc.lo, tc.hi, tc.loIncl, tc.hiIncl)
+		for _, target := range []int64{300, 4000} {
+			morsels := ix.SeekMorsels(rng, target)
+			its := make([]*IndexIterator, len(morsels))
+			for i, m := range morsels {
+				its[i] = m.Iterator()
+			}
+			got := drainEntries(its)
+			if len(got) != len(want) {
+				t.Errorf("%s target=%d: got %d entries, want %d", tc.name, target, len(got), len(want))
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("%s target=%d: entry %d = %s, want %s", tc.name, target, i, got[i], want[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentCatalogReads pins the read-path thread-safety contract under
+// the race detector: concurrent sessions scanning, seeking, partitioning
+// morsels and reading optimizer statistics of shared tables — every shared
+// structure a concurrent SELECT touches below the engine.
+func TestConcurrentCatalogReads(t *testing.T) {
+	c, tbl, ix := newSeekTable(t, 20000)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 15; iter++ {
+				// Full-scan morsels (races to fill the btree leaf cache).
+				count := 0
+				for _, m := range tbl.ScanMorsels(4096) {
+					it := m.Iterator()
+					for {
+						_, ok, err := it.Next()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if !ok {
+							break
+						}
+						count++
+					}
+				}
+				if count != 20000 {
+					errs <- fmt.Errorf("scan morsels yielded %d rows, want 20000", count)
+					return
+				}
+				// Clustered range seek + morsels.
+				lo := []value.Value{value.NewInt(int64(g * 1000))}
+				hi := []value.Value{value.NewInt(int64(g*1000 + 2000))}
+				rng, err := tbl.ClusteredSeekRange(lo, hi, true, false)
+				if err != nil {
+					errs <- err
+					return
+				}
+				n := 0
+				for _, m := range tbl.ClusteredSeekMorsels(rng, 1000) {
+					it := m.Iterator()
+					for {
+						_, ok, err := it.Next()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if !ok {
+							break
+						}
+						n++
+					}
+				}
+				if n != 2000 {
+					errs <- fmt.Errorf("seek morsels yielded %d rows, want 2000", n)
+					return
+				}
+				// Index seek, catalog lookups, stats reads.
+				it := ix.Seek([]value.Value{value.NewInt(int64(g % 50))}, []value.Value{value.NewInt(int64(g % 50))}, true, true)
+				for {
+					_, ok, err := it.Next()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if !ok {
+						break
+					}
+				}
+				if _, err := c.Table("items"); err != nil {
+					errs <- err
+					return
+				}
+				_ = tbl.Stats.DistinctCount(1)
+				_, _ = tbl.Stats.MinMax(2)
+				_ = tbl.Stats.EstimatedDataPages(9)
+				_ = tbl.RowCount()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

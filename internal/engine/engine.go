@@ -5,9 +5,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"oldelephant/internal/catalog"
@@ -48,16 +50,38 @@ type Options struct {
 	// that lean on the paper's I/O model should pin Parallelism to 1, as the
 	// bench harness does by default.
 	Parallelism int
+	// DisablePlanCache turns the shared plan cache off: every query pays
+	// lex/parse/plan/parallelize. The cache is on by default; the knob exists
+	// for measurements that must include planning cost on every run (the bench
+	// harness) and for differential testing of the cached path.
+	DisablePlanCache bool
+	// PlanCacheSize bounds the plan cache's distinct-statement capacity
+	// (0 selects the default, 256).
+	PlanCacheSize int
 }
 
 // Engine is a single-node, in-process database instance.
+//
+// Concurrency: SELECTs may run from any number of goroutines — they share a
+// reader lock, the catalog, the buffer pool and the plan cache. Mutating
+// statements (DDL, INSERT, bulk loads) take the writer lock, so they wait for
+// in-flight queries, run alone, and invalidate the plan cache before queries
+// resume. Per-query IOStats remain exact only when one query runs at a time:
+// concurrent queries interleave their page accesses in the shared pager, so
+// a concurrent query's Stats.IO reflects its share of a mixed stream.
 type Engine struct {
+	// stateMu is the reader/writer isolation described above: queries hold it
+	// shared, mutations exclusive. Internal helpers assume the caller holds
+	// the appropriate side and never lock it themselves.
+	stateMu     sync.RWMutex
+	viewMu      sync.RWMutex
 	pager       *storage.Pager
 	cat         *catalog.Catalog
 	views       map[string]*ViewDef
 	vectorized  bool
 	compressed  bool
 	parallelism int
+	plans       *planCache // nil when the plan cache is disabled
 }
 
 // ViewDef records a materialized view: its defining query and backing table.
@@ -90,7 +114,7 @@ func New(opts Options) *Engine {
 	if !vectorized {
 		parallelism = 1
 	}
-	return &Engine{
+	e := &Engine{
 		pager:       pager,
 		cat:         catalog.New(pager, overhead),
 		views:       make(map[string]*ViewDef),
@@ -98,6 +122,10 @@ func New(opts Options) *Engine {
 		compressed:  vectorized && !opts.DisableCompressed,
 		parallelism: parallelism,
 	}
+	if !opts.DisablePlanCache {
+		e.plans = newPlanCache(opts.PlanCacheSize)
+	}
+	return e
 }
 
 // Default returns an engine with the default options used throughout the
@@ -120,13 +148,42 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 // Pager exposes the engine's pager (for I/O accounting).
 func (e *Engine) Pager() *storage.Pager { return e.pager }
 
-// Views returns the definitions of all materialized views, keyed by lower-case name.
-func (e *Engine) Views() map[string]*ViewDef { return e.views }
+// Views returns the definitions of all materialized views, keyed by
+// lower-case name. The returned map is a copy: view definitions may be
+// created or dropped by a concurrent session, so callers iterate a stable
+// snapshot (the *ViewDef values themselves are immutable once created).
+func (e *Engine) Views() map[string]*ViewDef {
+	e.viewMu.RLock()
+	defer e.viewMu.RUnlock()
+	out := make(map[string]*ViewDef, len(e.views))
+	for k, v := range e.views {
+		out[k] = v
+	}
+	return out
+}
 
 // View returns a materialized view definition by name.
 func (e *Engine) View(name string) (*ViewDef, bool) {
+	e.viewMu.RLock()
+	defer e.viewMu.RUnlock()
 	v, ok := e.views[strings.ToLower(name)]
 	return v, ok
+}
+
+// PlanCacheStats returns a snapshot of the shared plan cache's counters
+// (zero when the cache is disabled).
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	if e.plans == nil {
+		return PlanCacheStats{}
+	}
+	return e.plans.snapshot()
+}
+
+// invalidatePlans clears the plan cache; callers hold the writer lock.
+func (e *Engine) invalidatePlans() {
+	if e.plans != nil {
+		e.plans.invalidate()
+	}
 }
 
 // Stats captures the cost of executing one statement.
@@ -137,6 +194,9 @@ type Stats struct {
 	IO storage.IOStats
 	// RowsReturned is the number of result rows.
 	RowsReturned int
+	// PlanCached reports that the query executed a leased plan-cache instance
+	// (lex/parse/plan skipped entirely).
+	PlanCached bool
 }
 
 // Result is the outcome of executing a statement. DDL statements return no
@@ -162,11 +222,18 @@ func (e *Engine) Execute(sqlText string) (*Result, error) {
 	return e.ExecuteStmt(stmt)
 }
 
-// ExecuteStmt runs an already-parsed statement.
+// ExecuteStmt runs an already-parsed statement. SELECTs run under the shared
+// reader lock; everything else takes the writer lock, runs alone, and
+// invalidates the plan cache (compiled plans embed access paths, morsel page
+// runs and cardinalities that any catalog or data change can break).
 func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
+	if s, ok := stmt.(*sql.SelectStmt); ok {
+		return e.QueryStmt(s)
+	}
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	defer e.invalidatePlans()
 	switch s := stmt.(type) {
-	case *sql.SelectStmt:
-		return e.runSelect(s)
 	case *sql.CreateTableStmt:
 		return e.runCreateTable(s)
 	case *sql.CreateIndexStmt:
@@ -182,33 +249,144 @@ func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 	}
 }
 
+// QueryOptions configure one query execution on top of the engine's
+// defaults; the zero value reproduces plain Query.
+type QueryOptions struct {
+	// Ctx, when non-nil, cancels the query: execution checks it at batch
+	// boundaries and a queue/timeout cancellation surfaces as the context's
+	// error. nil means run to completion.
+	Ctx context.Context
+	// Parallelism overrides the engine's morsel-parallel worker count for
+	// this query when > 0 — the serving layer's admission control grants each
+	// query a slice of the core budget and pins the plan to it.
+	Parallelism int
+	// NoCache bypasses the plan cache for this query.
+	NoCache bool
+}
+
 // Query runs a SELECT statement and returns its result.
 func (e *Engine) Query(sqlText string) (*Result, error) {
+	return e.QueryWith(QueryOptions{}, sqlText)
+}
+
+// QueryWith runs a SELECT with per-query options. It is safe to call from
+// concurrent goroutines.
+func (e *Engine) QueryWith(opts QueryOptions, sqlText string) (*Result, error) {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	norm := ""
+	if e.plans != nil && !opts.NoCache {
+		norm = sql.Normalize(sqlText)
+	}
+	return e.execSelect(opts, norm, sqlText, nil)
+}
+
+// QueryStmt runs an already-parsed SELECT. Statement-handle executions have
+// no normalized text to key the plan cache with, so they always plan.
+func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	return e.execSelect(QueryOptions{}, "", "", stmt)
+}
+
+// Prepared is a SELECT parsed and normalized once, executable many times.
+// The handle itself is immutable and safe to share across sessions; compiled
+// plans are leased per execution through the shared plan cache, so repeated
+// executions skip lexing, parsing, planning and morsel partitioning.
+type Prepared struct {
+	// Text is the original statement text.
+	Text string
+	norm string
+	stmt *sql.SelectStmt
+}
+
+// Prepare parses a SELECT into a reusable handle.
+func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
 	stmt, err := sql.ParseSelect(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	return e.runSelect(stmt)
+	return &Prepared{Text: sqlText, norm: sql.Normalize(sqlText), stmt: stmt}, nil
 }
 
-// QueryStmt runs an already-parsed SELECT.
-func (e *Engine) QueryStmt(stmt *sql.SelectStmt) (*Result, error) { return e.runSelect(stmt) }
+// QueryPrepared executes a prepared statement. Even when an intervening
+// catalog change invalidated the plan cache, the parse is never repaid —
+// the handle's statement replans directly.
+func (e *Engine) QueryPrepared(opts QueryOptions, p *Prepared) (*Result, error) {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
+	norm := p.norm
+	if e.plans == nil || opts.NoCache {
+		norm = ""
+	}
+	return e.execSelect(opts, norm, "", p.stmt)
+}
 
-func (e *Engine) runSelect(stmt *sql.SelectStmt) (*Result, error) {
-	planner := plan.NewPlanner(e.cat)
-	planner.DisableCompressed = !e.compressed
-	planner.DisableVectorized = !e.vectorized
-	pl, err := planner.PlanSelect(stmt)
+// execSelect is the shared SELECT path: lease a cached plan (or parse and
+// plan), execute, and return the instance to the cache. Callers hold the
+// reader lock — or the writer lock for internal selects like view
+// materialization. A non-empty norm enables the plan cache; stmt, when
+// non-nil, skips parsing.
+func (e *Engine) execSelect(opts QueryOptions, norm, sqlText string, stmt *sql.SelectStmt) (*Result, error) {
+	par := e.effectiveParallelism(opts.Parallelism)
+	useCache := e.plans != nil && norm != ""
+	var pl *plan.Plan
+	cached := false
+	key := planKey{sql: norm, vectorized: e.vectorized, compressed: e.compressed, parallelism: par}
+	if useCache {
+		var cachedStmt *sql.SelectStmt
+		pl, cachedStmt = e.plans.acquire(key)
+		cached = pl != nil
+		if stmt == nil {
+			stmt = cachedStmt
+		}
+	}
+	if pl == nil {
+		if stmt == nil {
+			var err error
+			stmt, err = sql.ParseSelect(sqlText)
+			if err != nil {
+				return nil, err
+			}
+		}
+		planner := plan.NewPlanner(e.cat)
+		planner.DisableCompressed = !e.compressed
+		planner.DisableVectorized = !e.vectorized
+		var err error
+		pl, err = planner.PlanSelect(stmt)
+		if err != nil {
+			return nil, err
+		}
+		e.parallelizePlan(pl, par)
+	}
+	res, err := e.executePlan(opts.Ctx, pl)
 	if err != nil {
+		// The plan instance is discarded, not released: after a failed or
+		// canceled execution its operator state is suspect.
 		return nil, err
 	}
-	e.parallelizePlan(pl)
+	if useCache {
+		e.plans.release(key, stmt, pl)
+	}
+	res.Stats.PlanCached = cached
+	return res, nil
+}
+
+// executePlan drains a compiled plan through the engine's pull protocol,
+// honoring a cancellation context when one is set.
+func (e *Engine) executePlan(ctx context.Context, pl *plan.Plan) (*Result, error) {
 	before := e.pager.Stats()
 	start := time.Now()
 	var rows []exec.Row
-	if e.vectorized {
+	var err error
+	switch {
+	case ctx != nil && e.vectorized:
+		rows, err = exec.DrainVectorizedCtx(ctx, pl.Root)
+	case ctx != nil:
+		rows, err = exec.DrainCtx(ctx, pl.Root)
+	case e.vectorized:
 		rows, err = exec.DrainVectorized(pl.Root)
-	} else {
+	default:
 		rows, err = exec.Drain(pl.Root)
 	}
 	if err != nil {
@@ -228,23 +406,38 @@ func (e *Engine) runSelect(stmt *sql.SelectStmt) (*Result, error) {
 	}, nil
 }
 
+// effectiveParallelism resolves a per-query override against the engine
+// defaults (the row engine is always serial).
+func (e *Engine) effectiveParallelism(override int) int {
+	par := e.parallelism
+	if override > 0 {
+		par = override
+	}
+	if !e.vectorized {
+		par = 1
+	}
+	return par
+}
+
 // parallelizePlan applies the morsel-parallel rewrite to a compiled plan and
 // annotates its Explain string when a pipeline actually went parallel, so
 // the reported plan matches what executes.
-func (e *Engine) parallelizePlan(pl *plan.Plan) {
-	if !e.vectorized || e.parallelism <= 1 {
+func (e *Engine) parallelizePlan(pl *plan.Plan, workers int) {
+	if !e.vectorized || workers <= 1 {
 		return
 	}
-	root, rewrote := plan.Parallelize(pl.Root, e.parallelism)
+	root, rewrote := plan.Parallelize(pl.Root, workers)
 	pl.Root = root
 	if rewrote {
-		pl.Explain = fmt.Sprintf("%s [parallel %d]", pl.Explain, e.parallelism)
+		pl.Explain = fmt.Sprintf("%s [parallel %d]", pl.Explain, workers)
 	}
 }
 
 // Explain plans a SELECT and returns the textual plan without executing it,
 // including the morsel-parallel rewrite the engine would apply.
 func (e *Engine) Explain(sqlText string) (string, error) {
+	e.stateMu.RLock()
+	defer e.stateMu.RUnlock()
 	stmt, err := sql.ParseSelect(sqlText)
 	if err != nil {
 		return "", err
@@ -256,7 +449,7 @@ func (e *Engine) Explain(sqlText string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	e.parallelizePlan(pl)
+	e.parallelizePlan(pl, e.parallelism)
 	return pl.Explain, nil
 }
 
@@ -310,10 +503,13 @@ func (e *Engine) runCreateView(s *sql.CreateViewStmt) (*Result, error) {
 		return nil, fmt.Errorf("engine: only MATERIALIZED views are supported")
 	}
 	name := strings.ToLower(s.Name)
-	if _, exists := e.views[name]; exists {
+	if _, exists := e.View(name); exists {
 		return nil, fmt.Errorf("engine: view %q already exists", s.Name)
 	}
-	res, err := e.runSelect(s.Query)
+	// The materializing select runs under the writer lock the caller holds;
+	// it must not re-enter the locked query path (or the plan cache, which is
+	// about to be invalidated).
+	res, err := e.execSelect(QueryOptions{}, "", "", s.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -363,7 +559,9 @@ func (e *Engine) runCreateView(s *sql.CreateViewStmt) (*Result, error) {
 	if err := tbl.BulkLoad(res.Rows); err != nil {
 		return nil, err
 	}
+	e.viewMu.Lock()
 	e.views[name] = def
+	e.viewMu.Unlock()
 	return &Result{Stats: res.Stats}, nil
 }
 
@@ -420,7 +618,9 @@ func (e *Engine) runDropTable(s *sql.DropTableStmt) (*Result, error) {
 	if err := e.cat.DropTable(s.Name); err != nil {
 		return nil, err
 	}
+	e.viewMu.Lock()
 	delete(e.views, strings.ToLower(s.Name))
+	e.viewMu.Unlock()
 	return &Result{}, nil
 }
 
@@ -491,8 +691,12 @@ func coerceValue(v value.Value, kind value.Kind) value.Value {
 }
 
 // BulkLoad loads rows programmatically into a table, coercing each value to
-// the column kind. It is the fast path used by the TPC-H loader.
+// the column kind. It is the fast path used by the TPC-H loader. Like every
+// mutation it runs exclusively and invalidates the plan cache.
 func (e *Engine) BulkLoad(table string, rows [][]value.Value) error {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	defer e.invalidatePlans()
 	tbl, err := e.cat.Table(table)
 	if err != nil {
 		return err

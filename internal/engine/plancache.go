@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"oldelephant/internal/plan"
+	"oldelephant/internal/sql"
+)
+
+// The plan cache lets repeated queries skip the lexer, parser, planner and
+// morsel partitioning entirely. Compiled operator trees carry iteration
+// state, so a plan instance must never execute twice concurrently; instead of
+// deep-cloning twenty operator types the cache leases instances: acquire
+// removes a compiled plan from the entry's idle pool (a concurrent second
+// execution of the same query misses the pool, reuses the cached AST and
+// replans), and release returns it after a successful execution. Every
+// catalog or design change clears the cache wholesale — compiled plans embed
+// physical artifacts (morsel page runs, access paths, cardinalities) that any
+// schema or data change can invalidate, and mutations are rare in this
+// read-mostly serving model. Acquire/release run under the engine's shared
+// (read) lock and invalidation under its exclusive lock, so a stale plan can
+// never be leased: a mutation cannot interleave with an in-flight lease.
+
+// planKey identifies a cached plan: the normalized SQL text plus every engine
+// knob that changes physical planning or the parallel rewrite.
+type planKey struct {
+	sql         string
+	vectorized  bool
+	compressed  bool
+	parallelism int
+}
+
+// maxIdlePlans bounds each entry's pool of compiled plan instances; under
+// higher same-query concurrency the overflow executions replan from the
+// cached AST.
+const maxIdlePlans = 8
+
+// defaultPlanCacheSize is the default entry (distinct statement) capacity.
+const defaultPlanCacheSize = 256
+
+// PlanCacheStats is a snapshot of the plan cache's counters.
+type PlanCacheStats struct {
+	// Hits counts acquisitions that leased a ready compiled plan.
+	Hits int64
+	// StmtHits counts acquisitions that found no idle plan instance but
+	// reused the cached parse tree (parse skipped, replanned).
+	StmtHits int64
+	// Misses counts acquisitions that found nothing.
+	Misses int64
+	// Evictions counts entries dropped by the LRU capacity bound.
+	Evictions int64
+	// Invalidations counts wholesale clears (catalog/design changes).
+	Invalidations int64
+	// Entries is the current number of cached statements.
+	Entries int
+}
+
+// HitRate returns Hits / (Hits + StmtHits + Misses), the fraction of lookups
+// that skipped parse, plan and parallelize altogether.
+func (s PlanCacheStats) HitRate() float64 {
+	total := s.Hits + s.StmtHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type cacheEntry struct {
+	key  planKey
+	stmt *sql.SelectStmt
+	idle []*plan.Plan
+	elem *list.Element
+}
+
+// planCache is a shared LRU cache of compiled plans with per-entry instance
+// pools. All methods are safe for concurrent use.
+type planCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[planKey]*cacheEntry
+	lru      *list.List // of *cacheEntry; front = most recently used
+	stats    PlanCacheStats
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheSize
+	}
+	return &planCache{
+		capacity: capacity,
+		entries:  make(map[planKey]*cacheEntry),
+		lru:      list.New(),
+	}
+}
+
+// acquire leases a compiled plan for the key. A nil plan with a non-nil stmt
+// means the entry's pool was empty but the parse tree is reusable; both nil
+// is a full miss.
+func (c *planCache) acquire(key planKey) (*plan.Plan, *sql.SelectStmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, nil
+	}
+	c.lru.MoveToFront(e.elem)
+	if n := len(e.idle); n > 0 {
+		pl := e.idle[n-1]
+		e.idle = e.idle[:n-1]
+		c.stats.Hits++
+		return pl, e.stmt
+	}
+	c.stats.StmtHits++
+	return nil, e.stmt
+}
+
+// release returns a plan instance (and the statement it was compiled from)
+// to the cache after a successful execution, creating the entry on first
+// release and evicting the least recently used statement beyond capacity.
+// Plans whose execution failed must not be released: their operator state is
+// suspect, and re-leasing one would replay the failure.
+func (c *planCache) release(key planKey, stmt *sql.SelectStmt, pl *plan.Plan) {
+	if pl == nil || stmt == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{key: key, stmt: stmt}
+		e.elem = c.lru.PushFront(e)
+		c.entries[key] = e
+		for c.lru.Len() > c.capacity {
+			back := c.lru.Back()
+			evicted := back.Value.(*cacheEntry)
+			c.lru.Remove(back)
+			delete(c.entries, evicted.key)
+			c.stats.Evictions++
+		}
+	} else {
+		c.lru.MoveToFront(e.elem)
+	}
+	if len(e.idle) < maxIdlePlans {
+		e.idle = append(e.idle, pl)
+	}
+}
+
+// invalidate drops every cached entry. Called under the engine's exclusive
+// lock after any statement that can change the catalog, the data, or a
+// physical design.
+func (c *planCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) > 0 {
+		c.entries = make(map[planKey]*cacheEntry)
+		c.lru.Init()
+	}
+	c.stats.Invalidations++
+}
+
+// snapshot returns the current counters.
+func (c *planCache) snapshot() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}

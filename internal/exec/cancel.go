@@ -1,0 +1,73 @@
+package exec
+
+import "context"
+
+// Cooperative cancellation for the serving layer. Execution checks the
+// context at batch boundaries — between NextBatch calls on the plan root —
+// which bounds the cancellation latency to one batch of downstream work for
+// pipelined plans. Materializing breakers (sort, aggregation, a join build)
+// consume their whole input inside one NextBatch, so a timeout that fires
+// mid-materialization is observed when the breaker surfaces; the admission
+// queue, where most of a saturated server's waiting happens, cancels
+// immediately.
+
+// DrainBatchesCtx is DrainBatches with cooperative cancellation: the context
+// is checked before every NextBatch, and the context's error (DeadlineExceeded
+// or Canceled) is returned as soon as it fires.
+func DrainBatchesCtx(ctx context.Context, op BatchOperator) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []Row
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b, ok, err := op.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = b.AppendRows(out)
+	}
+}
+
+// DrainVectorizedCtx is DrainVectorized with cooperative cancellation.
+func DrainVectorizedCtx(ctx context.Context, op Operator) ([]Row, error) {
+	return DrainBatchesCtx(ctx, AsBatchOperator(op))
+}
+
+// DrainCtx is Drain with cooperative cancellation, checked once per
+// DefaultBatchSize rows so the row-at-a-time path pays one atomic load per
+// batch-equivalent, not per row.
+func DrainCtx(ctx context.Context, op Operator) ([]Row, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []Row
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < DefaultBatchSize; i++ {
+			row, ok, err := op.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return out, nil
+			}
+			out = append(out, row)
+		}
+	}
+}

@@ -36,17 +36,46 @@ func allOrdinals(n int) []int {
 	return out
 }
 
+// initialBatchCap is the column capacity of a scan's first batch. Batches
+// grow toward DefaultBatchSize by appending, and every subsequent batch is
+// allocated at the previous batch's fill (see nextFillCap) — so a full table
+// scan pays the growth ramp once and then allocates full batches, while a
+// selective seek returning a handful of rows never allocates the ~50 KB of
+// column buffers a fixed DefaultBatchSize capacity would cost per query. The
+// difference is the serving layer's point-query floor.
+const initialBatchCap = 32
+
+// nextFillCap returns the capacity hint for the batch after one that filled
+// n rows: the observed fill with 2x headroom, clamped to the batch bounds.
+func nextFillCap(n int) int {
+	n *= 2
+	if n < initialBatchCap {
+		return initialBatchCap
+	}
+	if n > DefaultBatchSize {
+		return DefaultBatchSize
+	}
+	return n
+}
+
 // fillBatchFromIterator pulls up to DefaultBatchSize rows from a row
 // iterator into a fresh column-major batch, projecting the given base-table
 // ordinals. A nil batch result means the iterator is exhausted. The output
 // positions listed in encode are run-encoded afterwards (see
-// compressBatchCols).
-func fillBatchFromIterator(it *catalog.RowIterator, cols []int, encode []int) (*Batch, error) {
+// compressBatchCols); capHint sizes the initial column allocation (<= 0
+// selects initialBatchCap).
+func fillBatchFromIterator(it *catalog.RowIterator, cols []int, encode []int, capHint int) (*Batch, error) {
+	if capHint <= 0 {
+		capHint = initialBatchCap
+	}
+	if capHint > DefaultBatchSize {
+		capHint = DefaultBatchSize
+	}
 	// Fill raw value slices and wrap them as vectors once at the end: the
 	// per-value loop is the scan hot path, so it must stay a plain append.
 	vals := make([][]value.Value, len(cols))
 	for i := range vals {
-		vals[i] = make([]value.Value, 0, DefaultBatchSize)
+		vals[i] = make([]value.Value, 0, capHint)
 	}
 	n := 0
 	// The decode buffer is reused across rows: values are copied into the
@@ -101,8 +130,9 @@ type SeqScan struct {
 	// (typically the clustered-key prefix, set by the planner).
 	EncodeCols []int
 
-	it     *catalog.RowIterator
-	schema []ColumnInfo
+	it      *catalog.RowIterator
+	schema  []ColumnInfo
+	fillCap int
 }
 
 // NewSeqScan builds a sequential scan over the table producing cols (nil = all).
@@ -119,6 +149,7 @@ func (s *SeqScan) Schema() []ColumnInfo { return s.schema }
 // Open implements Operator.
 func (s *SeqScan) Open() error {
 	s.it = s.Table.Scan()
+	s.fillCap = 0
 	return nil
 }
 
@@ -139,10 +170,11 @@ func (s *SeqScan) NextBatch() (*Batch, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("SeqScan")
 	}
-	b, err := fillBatchFromIterator(s.it, s.Cols, s.EncodeCols)
+	b, err := fillBatchFromIterator(s.it, s.Cols, s.EncodeCols, s.fillCap)
 	if err != nil || b == nil {
 		return nil, false, err
 	}
+	s.fillCap = nextFillCap(b.physRows())
 	return b, true, nil
 }
 
@@ -170,16 +202,24 @@ func (s *SeqScan) Morsels(targetRows int) ([]BatchOperator, bool) {
 	return out, true
 }
 
-// morselScan scans one ScanMorsel of a table, projecting and run-encoding
-// columns exactly like the SeqScan it was split from. Each morsel owns its
+// rowMorsel is any cheap partition descriptor that opens fresh row iterators
+// over its slice of a table: full-scan morsels (catalog.ScanMorsel) and
+// clustered-seek morsels (catalog.ClusteredSeekMorsel).
+type rowMorsel interface {
+	Iterator() *catalog.RowIterator
+}
+
+// morselScan scans one row morsel of a table, projecting and run-encoding
+// columns exactly like the scan it was split from. Each morsel owns its
 // iterator, so concurrent workers can scan disjoint morsels of one table.
 type morselScan struct {
-	morsel catalog.ScanMorsel
+	morsel rowMorsel
 	cols   []int
 	encode []int
 	schema []ColumnInfo
 
-	it *catalog.RowIterator
+	it      *catalog.RowIterator
+	fillCap int
 }
 
 // Schema implements Operator.
@@ -188,6 +228,8 @@ func (s *morselScan) Schema() []ColumnInfo { return s.schema }
 // Open implements Operator.
 func (s *morselScan) Open() error {
 	s.it = s.morsel.Iterator()
+	// Morsels exist because the range is large; start at full batches.
+	s.fillCap = DefaultBatchSize
 	return nil
 }
 
@@ -208,7 +250,7 @@ func (s *morselScan) NextBatch() (*Batch, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("morselScan")
 	}
-	b, err := fillBatchFromIterator(s.it, s.cols, s.encode)
+	b, err := fillBatchFromIterator(s.it, s.cols, s.encode, s.fillCap)
 	if err != nil || b == nil {
 		return nil, false, err
 	}
@@ -234,8 +276,13 @@ type ClusteredSeek struct {
 	// Const vector).
 	EncodeCols []int
 
-	it     *catalog.RowIterator
-	schema []ColumnInfo
+	it      *catalog.RowIterator
+	schema  []ColumnInfo
+	fillCap int
+	// rng memoizes the seek's leaf range between the NumScanRows and Morsels
+	// calls of one parallel rewrite (planning is single-threaded; cached plans
+	// are invalidated on any catalog change, so a stale range never executes).
+	rng *catalog.SeekLeafRange
 }
 
 // NewClusteredSeek builds a clustered-index range scan.
@@ -262,6 +309,7 @@ func (s *ClusteredSeek) Open() error {
 		return err
 	}
 	s.it = it
+	s.fillCap = 0
 	return nil
 }
 
@@ -282,10 +330,11 @@ func (s *ClusteredSeek) NextBatch() (*Batch, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("ClusteredSeek")
 	}
-	b, err := fillBatchFromIterator(s.it, s.Cols, s.EncodeCols)
+	b, err := fillBatchFromIterator(s.it, s.Cols, s.EncodeCols, s.fillCap)
 	if err != nil || b == nil {
 		return nil, false, err
 	}
+	s.fillCap = nextFillCap(b.physRows())
 	return b, true, nil
 }
 
@@ -293,6 +342,50 @@ func (s *ClusteredSeek) NextBatch() (*Batch, bool, error) {
 func (s *ClusteredSeek) Close() error {
 	s.it = nil
 	return nil
+}
+
+// seekRange computes (once) the run of leaf pages the seek touches, bounded
+// by the stop key.
+func (s *ClusteredSeek) seekRange() *catalog.SeekLeafRange {
+	if s.rng == nil {
+		rng, err := s.Table.ClusteredSeekRange(s.Lo, s.Hi, s.LoIncl, s.HiIncl)
+		if err != nil {
+			return nil
+		}
+		s.rng = rng
+	}
+	return s.rng
+}
+
+// NumScanRows implements Morseler: the estimated rows in the seek's key
+// range (leaf count x average leaf fill), not the whole table — a selective
+// seek below the parallelization threshold stays serial.
+func (s *ClusteredSeek) NumScanRows() int64 {
+	rng := s.seekRange()
+	if rng == nil {
+		return 0
+	}
+	return rng.EstRows()
+}
+
+// Morsels implements Morseler: the seek's leaf range splits into runs of
+// roughly targetRows rows, every morsel a self-contained range scan sharing
+// the seek's stop bound (the first also carries the start position), so
+// selective range scans parallelize instead of falling back to serial.
+func (s *ClusteredSeek) Morsels(targetRows int) ([]BatchOperator, bool) {
+	rng := s.seekRange()
+	if rng == nil {
+		return nil, false
+	}
+	morsels := s.Table.ClusteredSeekMorsels(rng, int64(targetRows))
+	if len(morsels) < 2 {
+		return nil, false
+	}
+	out := make([]BatchOperator, len(morsels))
+	for i, m := range morsels {
+		out[i] = &morselScan{morsel: m, cols: s.Cols, encode: s.EncodeCols, schema: s.schema}
+	}
+	return out, true
 }
 
 // IndexSeek scans a secondary index for entries whose key prefix lies in a
@@ -312,9 +405,13 @@ type IndexSeek struct {
 
 	it      *catalog.IndexIterator
 	schema  []ColumnInfo
+	fillCap int
 	covered bool
 	// entryPos maps requested column ordinal -> position in the index entry.
 	entryPos map[int]int
+	// rng memoizes the seek's leaf range between NumScanRows and Morsels (see
+	// ClusteredSeek.rng).
+	rng *catalog.SeekLeafRange
 }
 
 // NewIndexSeek builds a secondary-index range scan producing the given base
@@ -345,6 +442,7 @@ func (s *IndexSeek) Schema() []ColumnInfo { return s.schema }
 // Open implements Operator.
 func (s *IndexSeek) Open() error {
 	s.it = s.Index.Seek(s.Lo, s.Hi, s.LoIncl, s.HiIncl)
+	s.fillCap = 0
 	return nil
 }
 
@@ -386,30 +484,133 @@ func (s *IndexSeek) NextBatch() (*Batch, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("IndexSeek")
 	}
-	b := NewBatch(len(s.Cols), DefaultBatchSize)
+	b, err := fillBatchFromEntries(s.it, s, s.fillCap)
+	if err != nil || b == nil {
+		return nil, false, err
+	}
+	s.fillCap = nextFillCap(b.physRows())
+	return b, true, nil
+}
+
+// fillBatchFromEntries pulls up to DefaultBatchSize index entries into a
+// fresh batch using the seek's entry-to-row conversion, with the same
+// adaptive initial capacity as fillBatchFromIterator.
+func fillBatchFromEntries(it *catalog.IndexIterator, seek *IndexSeek, capHint int) (*Batch, error) {
+	if capHint <= 0 {
+		capHint = initialBatchCap
+	}
+	if capHint > DefaultBatchSize {
+		capHint = DefaultBatchSize
+	}
+	b := NewBatch(len(seek.Cols), capHint)
 	for b.physRows() < DefaultBatchSize {
-		entry, ok, err := s.it.Next()
+		entry, ok, err := it.Next()
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
 		if !ok {
 			break
 		}
-		row, err := s.rowFromEntry(entry)
+		row, err := seek.rowFromEntry(entry)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
 		b.AppendRow(row)
 	}
 	if b.physRows() == 0 {
-		return nil, false, nil
+		return nil, nil
 	}
-	compressBatchCols(b, s.EncodeCols)
-	return b, true, nil
+	compressBatchCols(b, seek.EncodeCols)
+	return b, nil
 }
 
 // Close implements Operator.
 func (s *IndexSeek) Close() error {
+	s.it = nil
+	return nil
+}
+
+// seekRange computes (once) the run of index leaf pages the seek touches.
+func (s *IndexSeek) seekRange() *catalog.SeekLeafRange {
+	if s.rng == nil {
+		s.rng = s.Index.SeekRange(s.Lo, s.Hi, s.LoIncl, s.HiIncl)
+	}
+	return s.rng
+}
+
+// NumScanRows implements Morseler: estimated entries in the seek's key range.
+func (s *IndexSeek) NumScanRows() int64 {
+	return s.seekRange().EstRows()
+}
+
+// Morsels implements Morseler: the index seek's leaf range splits into entry
+// runs; each morsel resolves base rows independently (covered seeks never
+// touch the base table; uncovered ones do their clustered lookups through the
+// shared, read-only tree), so selective secondary-index range scans
+// parallelize too.
+func (s *IndexSeek) Morsels(targetRows int) ([]BatchOperator, bool) {
+	morsels := s.Index.SeekMorsels(s.seekRange(), int64(targetRows))
+	if len(morsels) < 2 {
+		return nil, false
+	}
+	out := make([]BatchOperator, len(morsels))
+	for i, m := range morsels {
+		out[i] = &morselIndexSeek{parent: s, morsel: m}
+	}
+	return out, true
+}
+
+// morselIndexSeek scans one entry morsel of a partitioned index seek,
+// converting entries to output rows exactly like the IndexSeek it was split
+// from (the parent's conversion state — covered flag, entry positions,
+// projection — is immutable after construction, so morsels share it).
+type morselIndexSeek struct {
+	parent *IndexSeek
+	morsel catalog.IndexSeekMorsel
+
+	it *catalog.IndexIterator
+}
+
+// Schema implements Operator.
+func (s *morselIndexSeek) Schema() []ColumnInfo { return s.parent.schema }
+
+// Open implements Operator.
+func (s *morselIndexSeek) Open() error {
+	s.it = s.morsel.Iterator()
+	return nil
+}
+
+// Next implements Operator.
+func (s *morselIndexSeek) Next() (Row, bool, error) {
+	if s.it == nil {
+		return nil, false, errNotOpen("morselIndexSeek")
+	}
+	entry, ok, err := s.it.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	row, err := s.parent.rowFromEntry(entry)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+// NextBatch implements BatchOperator.
+func (s *morselIndexSeek) NextBatch() (*Batch, bool, error) {
+	if s.it == nil {
+		return nil, false, errNotOpen("morselIndexSeek")
+	}
+	// Morsels exist because the range is large; start at full batches.
+	b, err := fillBatchFromEntries(s.it, s.parent, DefaultBatchSize)
+	if err != nil || b == nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// Close implements Operator.
+func (s *morselIndexSeek) Close() error {
 	s.it = nil
 	return nil
 }

@@ -202,6 +202,54 @@ func findVectorizedJoin(op exec.Operator) *exec.VectorizedHashJoin {
 	return nil
 }
 
+// TestParallelizeSeeks pins the range-scan rewrite: a wide clustered-key
+// range seek (and a wide covering index seek) partitions into leaf-range
+// morsels bounded by the seek's stop key, while a selective seek — the whole
+// point of seeking — stays serial.
+func TestParallelizeSeeks(t *testing.T) {
+	c := newParallelCatalog(t)
+	if _, err := c.CreateIndex("big_amount", "big", []string{"amount"}, []string{"grp"}, false); err != nil {
+		t.Fatal(err)
+	}
+	wide := []struct {
+		query string
+		scan  string // access path expected at the bottom of the pipeline
+		want  string
+	}{
+		// id is the clustered key: a range predicate selecting ~2/3 of the
+		// table compiles to a ClusteredSeek that still clears the threshold.
+		{"SELECT grp, COUNT(*) FROM big WHERE id > 8192 GROUP BY grp", "*exec.ClusteredSeek", "*exec.ParallelHashAggregate"},
+		{"SELECT id, grp FROM big WHERE id > 8192 AND grp = 7", "*exec.ClusteredSeek", "*exec.ParallelMerge"},
+		// amount has a covering secondary index: a ~40%-selective range
+		// predicate compiles to a covering IndexSeek over ~9800 entries —
+		// above the threshold, so the entry range partitions too.
+		{"SELECT grp, COUNT(*) FROM big WHERE amount > 600.0 GROUP BY grp", "*exec.IndexSeek", "*exec.ParallelHashAggregate"},
+	}
+	for _, tc := range wide {
+		pl := planFor(t, c, tc.query)
+		if !findOperatorType(pl.Root, tc.scan) {
+			t.Fatalf("%s: expected a %s access path: %s", tc.query, tc.scan, pl.Explain)
+		}
+		root, rewrote := Parallelize(pl.Root, 4)
+		if !rewrote {
+			t.Errorf("%s: wide seek did not parallelize (%s)", tc.query, pl.Explain)
+			continue
+		}
+		if !findOperatorType(root, tc.want) {
+			t.Errorf("%s: rewritten plan has no %s (root %T)", tc.query, tc.want, root)
+		}
+	}
+	// A selective equality seek stays serial: its range estimate is far below
+	// the threshold.
+	pl := planFor(t, c, "SELECT grp, COUNT(*) FROM big WHERE id = 123 GROUP BY grp")
+	if !findOperatorType(pl.Root, "*exec.ClusteredSeek") {
+		t.Fatalf("selective query lost its seek: %s", pl.Explain)
+	}
+	if _, rewrote := Parallelize(pl.Root, 4); rewrote {
+		t.Error("selective equality seek was parallelized")
+	}
+}
+
 // TestParallelizeLeavesSmallScansSerial: a table below the threshold keeps
 // its serial plan.
 func TestParallelizeLeavesSmallScansSerial(t *testing.T) {

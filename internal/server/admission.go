@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned when a query arrives while the admission queue is
+// at capacity: the server sheds load instead of buffering unboundedly.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// admission divides the machine's core budget across concurrent queries. A
+// query asks for the worker count its plan will use (its Parallelism) and
+// blocks until that many tokens are free, so N concurrent queries running
+// P-worker plans never oversubscribe the budget: total granted tokens never
+// exceed it. Waiters queue FIFO — a wide query at the head does not starve
+// behind a stream of narrow ones, and narrow ones do not leapfrog it — and
+// a waiter whose context fires (client timeout, cancellation, shutdown)
+// leaves the queue immediately.
+type admission struct {
+	mu       sync.Mutex
+	budget   int
+	avail    int
+	queue    []*waiter
+	maxQueue int
+
+	running int
+	queued  int
+}
+
+type waiter struct {
+	tokens  int
+	granted bool
+	ready   chan struct{}
+}
+
+func newAdmission(budget, maxQueue int) *admission {
+	if budget < 1 {
+		budget = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{budget: budget, avail: budget, maxQueue: maxQueue}
+}
+
+// acquire obtains tokens worker tokens (clamped to [1, budget]), waiting in
+// FIFO order when the budget is exhausted. It returns the granted count —
+// the parallelism the query must run with — or ErrQueueFull / the context's
+// error.
+func (a *admission) acquire(ctx context.Context, tokens int) (int, error) {
+	if tokens < 1 {
+		tokens = 1
+	}
+	if tokens > a.budget {
+		tokens = a.budget
+	}
+	a.mu.Lock()
+	if len(a.queue) == 0 && a.avail >= tokens {
+		a.avail -= tokens
+		a.running++
+		a.mu.Unlock()
+		return tokens, nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.mu.Unlock()
+		return 0, ErrQueueFull
+	}
+	w := &waiter{tokens: tokens, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.queued++
+	a.mu.Unlock()
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-w.ready:
+		a.mu.Lock()
+		a.queued--
+		a.running++
+		a.mu.Unlock()
+		return tokens, nil
+	case <-done:
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: hand the tokens back.
+			a.avail += w.tokens
+			a.grantLocked()
+		} else {
+			for i, q := range a.queue {
+				if q == w {
+					a.queue = append(a.queue[:i], a.queue[i+1:]...)
+					break
+				}
+			}
+		}
+		a.queued--
+		a.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// release returns a query's tokens and wakes eligible waiters.
+func (a *admission) release(tokens int) {
+	a.mu.Lock()
+	a.avail += tokens
+	a.running--
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked grants queued waiters in FIFO order while tokens suffice.
+// Caller holds a.mu.
+func (a *admission) grantLocked() {
+	for len(a.queue) > 0 && a.queue[0].tokens <= a.avail {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.avail -= w.tokens
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// load reports the current number of running and queued queries.
+func (a *admission) load() (running, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, a.queued
+}

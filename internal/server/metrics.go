@@ -1,0 +1,159 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"oldelephant/internal/engine"
+	"oldelephant/internal/storage"
+)
+
+// latWindow is the number of most-recent query latencies kept for percentile
+// estimation. A fixed window keeps the cost bounded and the percentiles
+// responsive to the current load rather than the whole process history.
+const latWindow = 4096
+
+// slowLogSize bounds the slow-query log (newest entries win).
+const slowLogSize = 64
+
+// SlowQuery is one slow-query log entry.
+type SlowQuery struct {
+	SQL     string
+	Session int64
+	Wall    time.Duration
+	Rows    int
+	When    time.Time
+}
+
+// metrics aggregates per-server observability: query counts, a latency
+// window for percentiles, summed per-query I/O, and the slow-query log.
+type metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	queries  int64
+	errors   int64
+	rejected int64
+	canceled int64
+
+	lat     [latWindow]time.Duration
+	latN    int // total observations (ring position = latN % latWindow)
+	latMax  time.Duration
+	wallSum time.Duration
+
+	io storage.IOStats
+
+	slowThreshold time.Duration
+	slow          []SlowQuery
+}
+
+func newMetrics(slowThreshold time.Duration) *metrics {
+	return &metrics{start: time.Now(), slowThreshold: slowThreshold}
+}
+
+// observe records one finished query.
+func (m *metrics) observe(sessionID int64, sqlText string, res *engine.Result, wall time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	m.lat[m.latN%latWindow] = wall
+	m.latN++
+	m.wallSum += wall
+	if wall > m.latMax {
+		m.latMax = wall
+	}
+	if res != nil {
+		m.io = m.io.Add(res.Stats.IO)
+	}
+	if m.slowThreshold > 0 && wall >= m.slowThreshold {
+		entry := SlowQuery{SQL: sqlText, Session: sessionID, Wall: wall, When: time.Now()}
+		if res != nil {
+			entry.Rows = res.Stats.RowsReturned
+		}
+		m.slow = append(m.slow, entry)
+		if len(m.slow) > slowLogSize {
+			m.slow = m.slow[len(m.slow)-slowLogSize:]
+		}
+	}
+}
+
+func (m *metrics) observeError()    { m.mu.Lock(); m.errors++; m.mu.Unlock() }
+func (m *metrics) observeRejected() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) observeCanceled() { m.mu.Lock(); m.canceled++; m.mu.Unlock() }
+
+// Snapshot is a point-in-time view of the server's health.
+type Snapshot struct {
+	Uptime  time.Duration
+	Queries int64
+	Errors  int64
+	// Rejected counts queries shed by a full admission queue; Canceled counts
+	// timeouts and client cancellations (in the queue or mid-execution).
+	Rejected int64
+	Canceled int64
+	// QPS is queries completed per second of uptime.
+	QPS float64
+	// Latency percentiles over the most recent window, plus the all-time
+	// maximum and mean.
+	P50, P95, P99, Max, Mean time.Duration
+	// Running and Queued are the admission controller's current load.
+	Running, Queued int
+	// Sessions is the number of open sessions.
+	Sessions int
+	// PlanCache is the engine's shared plan-cache counters.
+	PlanCache engine.PlanCacheStats
+	// IO sums the per-query I/O stats of completed queries. Concurrent
+	// queries share one buffer pool, so per-query attribution is approximate
+	// under load; the sum remains an accurate server-wide volume.
+	IO storage.IOStats
+	// Slow is the slow-query log, oldest first.
+	Slow []SlowQuery
+}
+
+// snapshot computes the current metrics (admission/session/plan-cache gauges
+// are supplied by the server).
+func (m *metrics) snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Uptime:   time.Since(m.start),
+		Queries:  m.queries,
+		Errors:   m.errors,
+		Rejected: m.rejected,
+		Canceled: m.canceled,
+		Max:      m.latMax,
+		IO:       m.io,
+		Slow:     append([]SlowQuery(nil), m.slow...),
+	}
+	if secs := s.Uptime.Seconds(); secs > 0 {
+		s.QPS = float64(m.queries) / secs
+	}
+	if m.queries > 0 {
+		s.Mean = m.wallSum / time.Duration(m.queries)
+	}
+	n := m.latN
+	if n > latWindow {
+		n = latWindow
+	}
+	if n > 0 {
+		window := make([]time.Duration, n)
+		copy(window, m.lat[:n])
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		s.P50 = window[percentileIdx(n, 50)]
+		s.P95 = window[percentileIdx(n, 95)]
+		s.P99 = window[percentileIdx(n, 99)]
+	}
+	return s
+}
+
+// percentileIdx maps a percentile to an index into a sorted sample of size n
+// (nearest-rank method).
+func percentileIdx(n, pct int) int {
+	rank := (n*pct + 99) / 100 // ceil(n * pct / 100)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank - 1
+}
