@@ -127,9 +127,18 @@ func reinit(pg *storage.Page) {
 }
 
 func readNode(pg *storage.Page) (isLeaf bool, entries []entry, extra uint64) {
+	return readNodeInto(pg, nil)
+}
+
+// readNodeInto is readNode appending into buf (reusing its capacity) — the
+// iterator's per-leaf path, where a fresh entries slice per leaf would be the
+// only allocation of an otherwise zero-copy scan. The key/val slices alias
+// page memory, which the pager keeps resident for the process lifetime, so
+// entries (and spans handed out from them) stay valid indefinitely.
+func readNodeInto(pg *storage.Page, buf []entry) (isLeaf bool, entries []entry, extra uint64) {
 	extra = pg.Aux()
 	n := pg.NumSlots()
-	entries = make([]entry, 0, n)
+	entries = buf[:0]
 	isLeaf = true
 	for i := 0; i < n; i++ {
 		rec := pg.Record(i)
@@ -408,9 +417,14 @@ type Iterator struct {
 }
 
 // Key returns the current entry's key. Valid only after Next reported true.
+// The slice aliases page memory, which stays resident and unmodified for as
+// long as the tree is not mutated — scans may hold key spans across Next
+// calls without copying.
 func (it *Iterator) Key() []byte { return it.entries[it.pos-1].key }
 
-// Value returns the current entry's payload. Valid only after Next reported true.
+// Value returns the current entry's payload. Valid only after Next reported
+// true. Like Key, the slice aliases stable page memory; the projected scan
+// fill hands sub-spans of it straight to the typed tuple decoders.
 func (it *Iterator) Value() []byte { return it.entries[it.pos-1].val }
 
 // Next advances the iterator and reports whether an entry is available.
@@ -439,7 +453,9 @@ func (it *Iterator) Next() bool {
 			it.leavesLeft--
 		}
 		pg := it.tree.pager.Get(it.leaf)
-		_, entries, extra := readNode(pg)
+		// Reuse the iterator's entries buffer: Key()/Value() spans alias page
+		// memory, not this slice, so recycling it is invisible to callers.
+		_, entries, extra := readNodeInto(pg, it.entries)
 		it.entries = entries
 		it.pos = 0
 		it.leaf = storage.PageID(extra)

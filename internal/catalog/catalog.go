@@ -149,6 +149,13 @@ type Table struct {
 	catalog    *Catalog
 	heap       *storage.HeapFile
 	uniquifier int64
+	// keyDirty records that some inserted row held a clustered-key value that
+	// does not round-trip exactly through the order-preserving key encoding
+	// (kind mismatch against the declared column, integer beyond ±2^53, or
+	// negative-zero float). While clean, projected scans may recover key
+	// columns from the B+-tree key bytes instead of decoding the payload; one
+	// dirty insert disables that for the table's lifetime.
+	keyDirty bool
 }
 
 // ColumnIndex returns the ordinal of the named column (case-insensitive), or -1.
@@ -207,10 +214,45 @@ func (t *Table) DataPages() int {
 func (t *Table) clusteredKey(row []value.Value, uniq int64) []byte {
 	vals := make([]value.Value, 0, len(t.Clustered.KeyColumns)+1)
 	for _, ord := range t.Clustered.KeyColumns {
-		vals = append(vals, row[ord])
+		v := row[ord]
+		if !t.keyDirty && !value.KeyValueRecoverable(v, t.Columns[ord].Kind) {
+			t.keyDirty = true
+		}
+		vals = append(vals, v)
 	}
 	vals = append(vals, value.NewInt(uniq))
 	return value.EncodeKey(nil, vals)
+}
+
+// KeyRecoverable reports whether the clustered-key columns of every stored
+// row can be decoded exactly from the B+-tree key bytes (see keyDirty).
+func (t *Table) KeyRecoverable() bool {
+	return t.Clustered != nil && !t.keyDirty
+}
+
+// KeyPrefixPositions maps base-table column ordinals to their positions in
+// the clustered key. It returns (positions, true) only when key-byte recovery
+// is safe for every requested ordinal: the table is clustered, no stored row
+// has an unrecoverable key value, and each ordinal is a clustered-key column.
+// Projected scans whose column set passes this test never touch the payload.
+func (t *Table) KeyPrefixPositions(cols []int) ([]int, bool) {
+	if !t.KeyRecoverable() {
+		return nil, false
+	}
+	pos := make([]int, len(cols))
+	for i, ord := range cols {
+		pos[i] = -1
+		for p, kc := range t.Clustered.KeyColumns {
+			if kc == ord {
+				pos[i] = p
+				break
+			}
+		}
+		if pos[i] < 0 {
+			return nil, false
+		}
+	}
+	return pos, true
 }
 
 // Insert adds one row, maintaining the clustered storage, every secondary
@@ -585,11 +627,80 @@ func encodeRange(lo, hi []value.Value, loIncl, hiIncl bool) (start, stop []byte,
 	return start, stop, stopIncl
 }
 
+// KeyPrefixDecoder decodes a projected set of clustered-key columns straight
+// from B+-tree key bytes, skipping unrequested key positions. Built once per
+// scan by NewKeyPrefixDecoder; Decode then runs per row with no allocation
+// (string columns aside).
+type KeyPrefixDecoder struct {
+	// kinds[p] is the declared column kind at key position p.
+	kinds []value.Kind
+	// outAt[p] is the output index for key position p, or -1 to skip it.
+	outAt []int
+}
+
+// NewKeyPrefixDecoder returns a decoder recovering the given base-table
+// ordinals from key bytes, or (nil, false) when key recovery is unsafe for
+// this column set (see KeyPrefixPositions).
+func (t *Table) NewKeyPrefixDecoder(cols []int) (*KeyPrefixDecoder, bool) {
+	pos, ok := t.KeyPrefixPositions(cols)
+	if !ok {
+		return nil, false
+	}
+	maxPos := 0
+	for _, p := range pos {
+		if p > maxPos {
+			maxPos = p
+		}
+	}
+	d := &KeyPrefixDecoder{
+		kinds: make([]value.Kind, maxPos+1),
+		outAt: make([]int, maxPos+1),
+	}
+	for p := range d.outAt {
+		d.outAt[p] = -1
+		d.kinds[p] = t.Columns[t.Clustered.KeyColumns[p]].Kind
+	}
+	for i, p := range pos {
+		d.outAt[p] = i
+	}
+	return d, true
+}
+
+// Decode fills out (len = number of projected columns) from one row's key
+// bytes. The trailing uniquifier and any key positions past the last
+// projected one are never touched.
+func (d *KeyPrefixDecoder) Decode(key []byte, out []value.Value) error {
+	off := 0
+	for p := range d.outAt {
+		if i := d.outAt[p]; i >= 0 {
+			v, n, err := value.DecodeKeyValue(key[off:], d.kinds[p])
+			if err != nil {
+				return err
+			}
+			out[i] = v
+			off += n
+		} else {
+			n, err := value.SkipKeyValue(key[off:])
+			if err != nil {
+				return err
+			}
+			off += n
+		}
+	}
+	return nil
+}
+
 // RowIterator yields table rows from either storage representation.
 type RowIterator struct {
 	table *Table
 	tree  *btree.Iterator
 	heap  *storage.HeapIterator
+
+	// Cached projection state for NextProjectedInto: the column set it was
+	// built for and the key-prefix decoder (nil = decode from payload).
+	projCols  []int
+	projDec   *KeyPrefixDecoder
+	projReady bool
 }
 
 // Next returns the next row; ok is false at the end.
@@ -614,6 +725,65 @@ func (it *RowIterator) NextInto(buf []value.Value) (row []value.Value, ok bool, 
 	}
 	row, _, ok, err = it.heap.Next()
 	return row, ok, err
+}
+
+// NextRaw advances the iterator and returns the next row's raw storage spans:
+// the clustered key bytes (nil for heap tables) and the encoded tuple
+// payload. Both alias stable page memory, so the batch fill may collect spans
+// across many rows before decoding column-at-a-time.
+func (it *RowIterator) NextRaw() (key, payload []byte, ok bool) {
+	if it.tree != nil {
+		if !it.tree.Next() {
+			return nil, nil, false
+		}
+		return it.tree.Key(), it.tree.Value(), true
+	}
+	rec, _, ok := it.heap.NextRecord()
+	return nil, rec, ok
+}
+
+// NextProjectedInto is NextInto decoding only the base-table ordinals listed
+// in cols (which must be sorted ascending), in cols order. When every
+// projected column is a clustered-key column and the table's keys are
+// recoverable, the values come from the B+-tree key bytes and the payload is
+// never touched; otherwise unrequested payload fields are skipped without
+// being materialized. The returned row may alias buf, like NextInto.
+func (it *RowIterator) NextProjectedInto(buf []value.Value, cols []int) (row []value.Value, ok bool, err error) {
+	if it.tree != nil {
+		if !it.tree.Next() {
+			return nil, false, nil
+		}
+		if !it.projReady {
+			it.projCols = append(it.projCols[:0], cols...)
+			it.projDec, _ = it.table.NewKeyPrefixDecoder(cols)
+			it.projReady = true
+		}
+		if it.projDec != nil {
+			if cap(buf) < len(cols) {
+				buf = make([]value.Value, len(cols))
+			} else {
+				buf = buf[:len(cols)]
+			}
+			if err := it.projDec.Decode(it.tree.Key(), buf); err != nil {
+				return nil, false, err
+			}
+			return buf, true, nil
+		}
+		row, err = value.DecodeProjectedInto(buf[:0], it.tree.Value(), cols)
+		if err != nil {
+			return nil, false, err
+		}
+		return row, true, nil
+	}
+	rec, _, ok := it.heap.NextRecord()
+	if !ok {
+		return nil, false, nil
+	}
+	row, err = value.DecodeProjectedInto(buf[:0], rec, cols)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
 }
 
 // CreateIndex builds a nonclustered index over the table. keyCols define the
@@ -868,6 +1038,18 @@ func (ix *Index) ScanAll() *IndexIterator {
 type IndexIterator struct {
 	index *Index
 	it    *btree.Iterator
+}
+
+// NextRaw advances the iterator and returns the next entry's raw payload
+// span: the entry columns in EntryColumnOrdinals order, with the RID pair
+// appended for heap tables. The span aliases stable page memory. Covered
+// index scans use it to feed the projected column fill without materializing
+// entries.
+func (s *IndexIterator) NextRaw() (payload []byte, ok bool) {
+	if !s.it.Next() {
+		return nil, false
+	}
+	return s.it.Value(), true
 }
 
 // Next returns the next entry; ok is false at the end.

@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestWarmPlanLeaseAllocations pins the steady-state allocation count of a
+// warm plan-cache lease: after the first execution has compiled the plan and
+// grown the scan operator's column arena to full batch size, every later
+// execution of the same statement reuses both, so its allocation count is a
+// small constant — cache-key normalization, the lease, per-batch wrappers and
+// the aggregate's single result row — independent of how many rows the scan
+// decodes. Re-paying the 32→1024 arena growth ramp per execution, or
+// re-allocating column buffers per batch, pushes the count well past the
+// bound (the 5000-row scan alone would add thousands).
+func TestWarmPlanLeaseAllocations(t *testing.T) {
+	e := newCachedEngine(t, 0, 5000)
+	const q = "SELECT SUM(amount) FROM items WHERE grp < 5"
+	run := func() {
+		if _, err := e.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // compile the plan, grow the arena
+	run()
+	perExec := testing.AllocsPerRun(20, run)
+	// Measured steady state is ~75 allocations; 150 leaves headroom for
+	// toolchain drift while still catching any per-row or per-ramp regression.
+	if perExec > 150 {
+		t.Fatalf("warm plan-cache lease allocates %.0f per execution, want a small constant (<=150)", perExec)
+	}
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -197,6 +198,9 @@ type HashAggregate struct {
 	results []Row
 	built   bool
 	pos     int
+	// ctx, when set by ApplyContext after Open, is checked inside the build
+	// drain so cancellation is observed mid-aggregation. Open clears it.
+	ctx context.Context
 }
 
 // NewHashAggregate builds a hash-based grouping operator.
@@ -211,6 +215,7 @@ func (h *HashAggregate) Schema() []ColumnInfo { return h.schema }
 func (h *HashAggregate) Open() error {
 	h.results, h.built, h.pos = nil, false, 0
 	h.binput = AsBatchOperator(h.Input)
+	h.ctx = nil
 	return h.Input.Open()
 }
 
@@ -424,11 +429,15 @@ func (hb *hashAggBuilder) finish() []Row {
 }
 
 // build drains the input (batch-wise or row-wise) into the hash table and
-// sorts the finished groups by encoded key.
+// sorts the finished groups by encoded key, checking the applied context once
+// per batch of drained input.
 func (h *HashAggregate) build(batchWise bool) error {
 	hb := newHashAggBuilder(h.GroupBy, h.Aggs)
 	if batchWise {
 		for {
+			if err := ctxErr(h.ctx); err != nil {
+				return err
+			}
 			b, ok, err := h.binput.NextBatch()
 			if err != nil {
 				return err
@@ -441,7 +450,12 @@ func (h *HashAggregate) build(batchWise bool) error {
 			}
 		}
 	} else {
-		for {
+		for n := 0; ; n++ {
+			if n%DefaultBatchSize == 0 {
+				if err := ctxErr(h.ctx); err != nil {
+					return err
+				}
+			}
 			row, ok, err := h.Input.Next()
 			if err != nil {
 				return err

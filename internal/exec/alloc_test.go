@@ -1,0 +1,48 @@
+package exec
+
+import (
+	"testing"
+)
+
+// TestProjectedScanFillZeroAllocsPerRow pins the steady-state allocation rate
+// of the projected batch fill: once a serial scan's arena has grown to full
+// batch size, re-executing the scan allocates only per-batch wrappers (the
+// Batch, its vectors), never per-row storage — the arena is reused across
+// executions, as a plan-cache lease would reuse it. A regression that
+// re-allocates column buffers per batch or per row busts the bound
+// immediately (1000 rows would add ≥1000 allocations).
+func TestProjectedScanFillZeroAllocsPerRow(t *testing.T) {
+	_, lineitem, _ := buildTestDB(t)
+	// Numeric projection: l_orderkey (int), l_extendedprice (float). String
+	// columns inherently allocate per value and are excluded from the pin.
+	scan := NewSeqScan(lineitem, []int{0, 3})
+	drainOnce := func() {
+		if err := scan.Open(); err != nil {
+			t.Fatal(err)
+		}
+		rows := 0
+		for {
+			b, ok, err := scan.NextBatch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			rows += b.NumRows()
+		}
+		if rows != 1000 {
+			t.Fatalf("scan produced %d rows, want 1000", rows)
+		}
+		if err := scan.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOnce() // pay the arena growth ramp once
+	perDrain := testing.AllocsPerRun(10, drainOnce)
+	perRow := perDrain / 1000
+	if perRow >= 0.05 {
+		t.Fatalf("warm projected scan allocates %.3f/row (%.0f per 1000-row drain), want ~0",
+			perRow, perDrain)
+	}
+}

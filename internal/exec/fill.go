@@ -1,0 +1,231 @@
+package exec
+
+import (
+	"oldelephant/internal/catalog"
+	"oldelephant/internal/value"
+	"oldelephant/internal/vector"
+)
+
+// colFiller is the projection-aware, column-at-a-time batch fill behind every
+// table access path. Instead of decoding whole rows and transposing them into
+// columns, it walks each stored tuple exactly once: unrequested fields are
+// varint-skipped and each projected field is decoded in place during the walk
+// (TupleWalker.DecodeField — the fused single-parse form of the typed span
+// decoders in internal/value), appending straight into the column buffers
+// that become the batch's vectors. When every projected column is a
+// clustered-key column (and the table's keys are recoverable), values come
+// from the B+-tree key bytes and the payload is never touched at all.
+//
+// The column buffers are a per-operator arena: a filler owned by a serial
+// scan operator survives Open/Close, so a plan-cache lease's later executions
+// reuse fully-grown buffers instead of re-paying the 32→1024 growth ramp.
+// Recycling is only legal under the batch protocol's retention contract
+// (parents must not hold a batch's columns after the following NextBatch), so
+// morsel fillers — whose batches cross goroutines through drainPipe — run
+// with recycle off and allocate fresh value buffers per batch. Span arenas
+// never escape the filler and are always reused.
+type colFiller struct {
+	// kinds[i] is the declared kind of output column i, selecting its typed
+	// decoder. fields maps tuple positions to output columns, sorted by
+	// position so one forward walk per tuple collects every projected span.
+	kinds  []value.Kind
+	fields []fillField
+
+	// keyDec decodes all output columns from clustered-key bytes; nil means
+	// payload decode. keyCols is the base-ordinal set the decoder was built
+	// for; prepareKey revalidates against the table on each Open, since one
+	// unrecoverable insert permanently disables key recovery.
+	keyDec  *catalog.KeyPrefixDecoder
+	keyCols []int
+
+	recycle bool
+	bufs    [][]value.Value
+	rowBuf  []value.Value
+}
+
+// fillField maps one projected tuple position to its output column.
+type fillField struct {
+	pos, out int
+}
+
+// newColFiller builds a filler producing len(kinds) output columns, where
+// output column i decodes the tuple field at positions[i].
+func newColFiller(kinds []value.Kind, positions []int, recycle bool) *colFiller {
+	f := &colFiller{
+		kinds:   kinds,
+		fields:  make([]fillField, len(positions)),
+		recycle: recycle,
+		rowBuf:  make([]value.Value, len(positions)),
+	}
+	for i, pos := range positions {
+		f.fields[i] = fillField{pos: pos, out: i}
+	}
+	// Insertion sort by tuple position (column sets are small); secondary
+	// index entries can permute projected ordinals relative to storage order.
+	for i := 1; i < len(f.fields); i++ {
+		for j := i; j > 0 && f.fields[j].pos < f.fields[j-1].pos; j-- {
+			f.fields[j], f.fields[j-1] = f.fields[j-1], f.fields[j]
+		}
+	}
+	return f
+}
+
+// prepareKey enables or disables clustered-key recovery for a scan of t
+// producing the base ordinals in cols. Called at Open so a table that went
+// key-dirty since the last execution drops back to payload decode; the
+// decoder is kept across executions while it stays valid.
+func (f *colFiller) prepareKey(t *catalog.Table, cols []int) {
+	if !t.KeyRecoverable() {
+		f.keyDec = nil
+		f.keyCols = nil
+		return
+	}
+	if f.keyDec != nil && sameOrdinals(f.keyCols, cols) {
+		return
+	}
+	f.keyDec, _ = t.NewKeyPrefixDecoder(cols)
+	if f.keyDec != nil {
+		f.keyCols = append(f.keyCols[:0], cols...)
+	}
+}
+
+func sameOrdinals(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// clampCap bounds a fill-capacity hint to the batch sizing policy.
+func clampCap(capHint int) int {
+	if capHint <= 0 {
+		return initialBatchCap
+	}
+	if capHint > DefaultBatchSize {
+		return DefaultBatchSize
+	}
+	return capHint
+}
+
+// resetBufs readies the column buffers for one fill: recycle mode truncates
+// the arena in place (legal under the batch retention contract), morsel mode
+// allocates fresh buffers the downstream pipe may hold indefinitely.
+func (f *colFiller) resetBufs(capHint int) {
+	if f.recycle && f.bufs != nil {
+		for i := range f.bufs {
+			f.bufs[i] = f.bufs[i][:0]
+		}
+	} else {
+		f.bufs = make([][]value.Value, len(f.kinds))
+		for i := range f.bufs {
+			f.bufs[i] = make([]value.Value, 0, capHint)
+		}
+	}
+}
+
+// decodeRow walks one encoded tuple, skipping the gaps between projected
+// fields and decoding each projected field directly into its column buffer
+// with a single parse. Fields past the tuple's end append NULL.
+func (f *colFiller) decodeRow(payload []byte) error {
+	var w value.TupleWalker
+	if err := w.Reset(payload); err != nil {
+		return err
+	}
+	n := w.NumFields()
+	prev := 0
+	var v value.Value
+	for _, fd := range f.fields {
+		if fd.pos >= n {
+			f.bufs[fd.out] = append(f.bufs[fd.out], value.Value{})
+			continue
+		}
+		if fd.pos > prev {
+			if err := w.Skip(fd.pos - prev); err != nil {
+				return err
+			}
+		}
+		if err := w.DecodeField(&v); err != nil {
+			return err
+		}
+		f.bufs[fd.out] = append(f.bufs[fd.out], v)
+		prev = fd.pos + 1
+	}
+	return nil
+}
+
+// wrap publishes the filled column buffers as a batch and run-encodes the
+// marked columns.
+func (f *colFiller) wrap(n int, encode []int) *Batch {
+	b := &Batch{Cols: make([]*vector.Vector, len(f.bufs)), n: n}
+	for i := range f.bufs {
+		b.Cols[i] = vector.NewFlat(f.bufs[i])
+	}
+	compressBatchCols(b, encode)
+	return b
+}
+
+// fillRows pulls up to DefaultBatchSize rows from a row iterator into a
+// column-major batch. A nil batch means the iterator is exhausted.
+func (f *colFiller) fillRows(it *catalog.RowIterator, capHint int, encode []int) (*Batch, error) {
+	f.resetBufs(clampCap(capHint))
+	n := 0
+	if f.keyDec != nil {
+		// Key-only projection: decode straight from the B+-tree key bytes.
+		row := f.rowBuf
+		for n < DefaultBatchSize {
+			key, _, ok := it.NextRaw()
+			if !ok {
+				break
+			}
+			if err := f.keyDec.Decode(key, row); err != nil {
+				return nil, err
+			}
+			for i, v := range row {
+				f.bufs[i] = append(f.bufs[i], v)
+			}
+			n++
+		}
+	} else {
+		for n < DefaultBatchSize {
+			_, payload, ok := it.NextRaw()
+			if !ok {
+				break
+			}
+			if err := f.decodeRow(payload); err != nil {
+				return nil, err
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return f.wrap(n, encode), nil
+}
+
+// fillEntries is fillRows over covered secondary-index entries: the projected
+// columns decode from entry payloads (key columns, included columns, locator
+// columns), whose positions were mapped at construction.
+func (f *colFiller) fillEntries(it *catalog.IndexIterator, capHint int, encode []int) (*Batch, error) {
+	f.resetBufs(clampCap(capHint))
+	n := 0
+	for n < DefaultBatchSize {
+		payload, ok := it.NextRaw()
+		if !ok {
+			break
+		}
+		if err := f.decodeRow(payload); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return f.wrap(n, encode), nil
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"sort"
 
 	"oldelephant/internal/expr"
@@ -259,6 +260,11 @@ type Sort struct {
 	pos    int
 	sorted bool
 	binput BatchOperator
+	// ctx, when set by ApplyContext after Open, is checked inside the
+	// materialization drain so cancellation is observed mid-sort, not only
+	// after the whole input is consumed. Open clears it: a cache-leased plan
+	// drained without a context must not see the previous execution's.
+	ctx context.Context
 }
 
 // NewSort builds an in-memory sort.
@@ -275,14 +281,19 @@ func (s *Sort) Open() error {
 	s.pos = 0
 	s.sorted = false
 	s.binput = AsBatchOperator(s.Input)
+	s.ctx = nil
 	return s.Input.Open()
 }
 
 // materialize drains the input (batch-wise when the parent pulls batches) and
-// sorts the collected rows.
+// sorts the collected rows, checking the applied context once per batch of
+// drained input.
 func (s *Sort) materialize(batchWise bool) error {
 	if batchWise {
 		for {
+			if err := ctxErr(s.ctx); err != nil {
+				return err
+			}
 			b, ok, err := s.binput.NextBatch()
 			if err != nil {
 				return err
@@ -293,7 +304,12 @@ func (s *Sort) materialize(batchWise bool) error {
 			s.rows = b.AppendRows(s.rows)
 		}
 	} else {
-		for {
+		for n := 0; ; n++ {
+			if n%DefaultBatchSize == 0 {
+				if err := ctxErr(s.ctx); err != nil {
+					return err
+				}
+			}
 			row, ok, err := s.Input.Next()
 			if err != nil {
 				return err

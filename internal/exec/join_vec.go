@@ -19,6 +19,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -303,6 +304,13 @@ type joinBuildState struct {
 	built bool
 	table *joinTable
 	err   error
+
+	// ctx, when set by ApplyContext after the owning join's Open, is checked
+	// inside the build drain (serial per batch, parallel per merged partition)
+	// so cancellation is observed mid-build. reset clears it, so a cache-leased
+	// plan drained without a context never sees a stale one. Setting it on the
+	// shared state covers every probe-side clone at once.
+	ctx context.Context
 }
 
 // reset forces the next ensure to rebuild (a re-Open of the owning join) and
@@ -310,6 +318,14 @@ type joinBuildState struct {
 func (s *joinBuildState) reset() {
 	s.mu.Lock()
 	s.built, s.table, s.err = false, nil, nil
+	s.ctx = nil
+	s.mu.Unlock()
+}
+
+// setContext applies a drain context to the build; see ApplyContext.
+func (s *joinBuildState) setContext(ctx context.Context) {
+	s.mu.Lock()
+	s.ctx = ctx
 	s.mu.Unlock()
 }
 
@@ -332,6 +348,9 @@ func (s *joinBuildState) buildTable(input Operator) (*joinTable, error) {
 	}
 	t := newJoinTable(ncols, s.keys)
 	err := drainMorsel(AsBatchOperator(input), func(b *Batch) error {
+		if err := ctxErr(s.ctx); err != nil {
+			return err
+		}
 		t.consumeBatch(b)
 		return nil
 	})
@@ -363,6 +382,9 @@ func (s *joinBuildState) buildParallel(parts []BatchOperator, ncols int) (*joinT
 	defer runner.stop()
 	var total *joinTable
 	for {
+		if err := ctxErr(s.ctx); err != nil {
+			return nil, err
+		}
 		val, ok, err := runner.nextResult()
 		if err != nil {
 			return nil, err

@@ -18,6 +18,7 @@ package exec
 
 import (
 	"container/heap"
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -339,6 +340,10 @@ type parallelBreaker struct {
 	built   bool
 	pos     int
 	rows    batchRowCursor
+	// ctx, when set by ApplyContext after Open, is checked in the merge loop
+	// between morsel partials, so cancellation is observed while workers are
+	// still producing. Open clears it.
+	ctx context.Context
 }
 
 // Schema implements Operator and BatchOperator.
@@ -352,6 +357,7 @@ func (b *parallelBreaker) Open() error {
 	b.runner = newOrderedRunner(b.parts, b.workers, b.morsel)
 	b.results, b.built, b.pos = nil, false, 0
 	b.rows.reset()
+	b.ctx = nil
 	return nil
 }
 
@@ -361,7 +367,17 @@ func (b *parallelBreaker) NextBatch() (*Batch, bool, error) {
 		return nil, false, errNotOpen(b.name)
 	}
 	if !b.built {
-		rows, err := b.merge(b.runner.nextResult)
+		next := b.runner.nextResult
+		if b.ctx != nil {
+			ctx, inner := b.ctx, next
+			next = func() (any, bool, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, false, err
+				}
+				return inner()
+			}
+		}
+		rows, err := b.merge(next)
 		if err != nil {
 			return nil, false, err
 		}

@@ -58,52 +58,26 @@ func nextFillCap(n int) int {
 	return n
 }
 
-// fillBatchFromIterator pulls up to DefaultBatchSize rows from a row
-// iterator into a fresh column-major batch, projecting the given base-table
-// ordinals. A nil batch result means the iterator is exhausted. The output
-// positions listed in encode are run-encoded afterwards (see
-// compressBatchCols); capHint sizes the initial column allocation (<= 0
-// selects initialBatchCap).
-func fillBatchFromIterator(it *catalog.RowIterator, cols []int, encode []int, capHint int) (*Batch, error) {
-	if capHint <= 0 {
-		capHint = initialBatchCap
+// columnKinds returns the declared kinds of the given base-table ordinals —
+// the typed-decoder selectors for a projected scan's output columns.
+func columnKinds(t *catalog.Table, cols []int) []value.Kind {
+	out := make([]value.Kind, len(cols))
+	for i, ord := range cols {
+		out[i] = t.Columns[ord].Kind
 	}
-	if capHint > DefaultBatchSize {
-		capHint = DefaultBatchSize
-	}
-	// Fill raw value slices and wrap them as vectors once at the end: the
-	// per-value loop is the scan hot path, so it must stay a plain append.
-	vals := make([][]value.Value, len(cols))
-	for i := range vals {
-		vals[i] = make([]value.Value, 0, capHint)
-	}
-	n := 0
-	// The decode buffer is reused across rows: values are copied into the
-	// column vectors immediately, so the aliasing is safe.
-	var buf []value.Value
-	for n < DefaultBatchSize {
-		row, ok, err := it.NextInto(buf)
-		if err != nil {
-			return nil, err
+	return out
+}
+
+// ascendingOrdinals reports whether cols is sorted strictly ascending — the
+// precondition for the row-protocol projected decode (the batch fill handles
+// arbitrary order by sorting its field map).
+func ascendingOrdinals(cols []int) bool {
+	for i := 1; i < len(cols); i++ {
+		if cols[i] <= cols[i-1] {
+			return false
 		}
-		if !ok {
-			break
-		}
-		buf = row
-		for i, ord := range cols {
-			vals[i] = append(vals[i], row[ord])
-		}
-		n++
 	}
-	if n == 0 {
-		return nil, nil
-	}
-	b := &Batch{Cols: make([]*vector.Vector, len(cols)), n: n}
-	for i := range vals {
-		b.Cols[i] = vector.NewFlat(vals[i])
-	}
-	compressBatchCols(b, encode)
-	return b, nil
+	return true
 }
 
 // compressBatchCols run-encodes the marked output columns of a freshly
@@ -133,6 +107,8 @@ type SeqScan struct {
 	it      *catalog.RowIterator
 	schema  []ColumnInfo
 	fillCap int
+	fill    *colFiller
+	asc     bool
 }
 
 // NewSeqScan builds a sequential scan over the table producing cols (nil = all).
@@ -140,7 +116,11 @@ func NewSeqScan(t *catalog.Table, cols []int) *SeqScan {
 	if cols == nil {
 		cols = allOrdinals(len(t.Columns))
 	}
-	return &SeqScan{Table: t, Cols: cols, schema: projectedSchema(t, cols)}
+	return &SeqScan{
+		Table: t, Cols: cols, schema: projectedSchema(t, cols),
+		fill: newColFiller(columnKinds(t, cols), cols, true),
+		asc:  ascendingOrdinals(cols),
+	}
 }
 
 // Schema implements Operator.
@@ -150,6 +130,9 @@ func (s *SeqScan) Schema() []ColumnInfo { return s.schema }
 func (s *SeqScan) Open() error {
 	s.it = s.Table.Scan()
 	s.fillCap = 0
+	// The filler's column arena deliberately survives Open: a plan-cache
+	// lease's later executions reuse fully-grown buffers.
+	s.fill.prepareKey(s.Table, s.Cols)
 	return nil
 }
 
@@ -157,6 +140,13 @@ func (s *SeqScan) Open() error {
 func (s *SeqScan) Next() (Row, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("SeqScan")
+	}
+	if s.asc {
+		row, ok, err := s.it.NextProjectedInto(nil, s.Cols)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		return row, true, nil
 	}
 	row, ok, err := s.it.Next()
 	if err != nil || !ok {
@@ -170,7 +160,7 @@ func (s *SeqScan) NextBatch() (*Batch, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("SeqScan")
 	}
-	b, err := fillBatchFromIterator(s.it, s.Cols, s.EncodeCols, s.fillCap)
+	b, err := s.fill.fillRows(s.it, s.fillCap, s.EncodeCols)
 	if err != nil || b == nil {
 		return nil, false, err
 	}
@@ -197,7 +187,7 @@ func (s *SeqScan) Morsels(targetRows int) ([]BatchOperator, bool) {
 	}
 	out := make([]BatchOperator, len(morsels))
 	for i, m := range morsels {
-		out[i] = &morselScan{morsel: m, cols: s.Cols, encode: s.EncodeCols, schema: s.schema}
+		out[i] = newMorselScan(m, s.Table, s.Cols, s.EncodeCols, s.schema)
 	}
 	return out, true
 }
@@ -212,14 +202,25 @@ type rowMorsel interface {
 // morselScan scans one row morsel of a table, projecting and run-encoding
 // columns exactly like the scan it was split from. Each morsel owns its
 // iterator, so concurrent workers can scan disjoint morsels of one table.
+// Its filler runs with recycle off: morsel batches cross goroutines through
+// the parallel pipe, which retains them past the next fill.
 type morselScan struct {
 	morsel rowMorsel
+	table  *catalog.Table
 	cols   []int
 	encode []int
 	schema []ColumnInfo
 
 	it      *catalog.RowIterator
 	fillCap int
+	fill    *colFiller
+}
+
+func newMorselScan(m rowMorsel, t *catalog.Table, cols, encode []int, schema []ColumnInfo) *morselScan {
+	return &morselScan{
+		morsel: m, table: t, cols: cols, encode: encode, schema: schema,
+		fill: newColFiller(columnKinds(t, cols), cols, false),
+	}
 }
 
 // Schema implements Operator.
@@ -230,6 +231,7 @@ func (s *morselScan) Open() error {
 	s.it = s.morsel.Iterator()
 	// Morsels exist because the range is large; start at full batches.
 	s.fillCap = DefaultBatchSize
+	s.fill.prepareKey(s.table, s.cols)
 	return nil
 }
 
@@ -250,7 +252,7 @@ func (s *morselScan) NextBatch() (*Batch, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("morselScan")
 	}
-	b, err := fillBatchFromIterator(s.it, s.cols, s.encode, s.fillCap)
+	b, err := s.fill.fillRows(s.it, s.fillCap, s.encode)
 	if err != nil || b == nil {
 		return nil, false, err
 	}
@@ -279,6 +281,8 @@ type ClusteredSeek struct {
 	it      *catalog.RowIterator
 	schema  []ColumnInfo
 	fillCap int
+	fill    *colFiller
+	asc     bool
 	// rng memoizes the seek's leaf range between the NumScanRows and Morsels
 	// calls of one parallel rewrite (planning is single-threaded; cached plans
 	// are invalidated on any catalog change, so a stale range never executes).
@@ -296,6 +300,8 @@ func NewClusteredSeek(t *catalog.Table, lo, hi []value.Value, loIncl, hiIncl boo
 	return &ClusteredSeek{
 		Table: t, Lo: lo, Hi: hi, LoIncl: loIncl, HiIncl: hiIncl,
 		Cols: cols, schema: projectedSchema(t, cols),
+		fill: newColFiller(columnKinds(t, cols), cols, true),
+		asc:  ascendingOrdinals(cols),
 	}, nil
 }
 
@@ -310,6 +316,7 @@ func (s *ClusteredSeek) Open() error {
 	}
 	s.it = it
 	s.fillCap = 0
+	s.fill.prepareKey(s.Table, s.Cols)
 	return nil
 }
 
@@ -317,6 +324,13 @@ func (s *ClusteredSeek) Open() error {
 func (s *ClusteredSeek) Next() (Row, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("ClusteredSeek")
+	}
+	if s.asc {
+		row, ok, err := s.it.NextProjectedInto(nil, s.Cols)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		return row, true, nil
 	}
 	row, ok, err := s.it.Next()
 	if err != nil || !ok {
@@ -330,7 +344,7 @@ func (s *ClusteredSeek) NextBatch() (*Batch, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("ClusteredSeek")
 	}
-	b, err := fillBatchFromIterator(s.it, s.Cols, s.EncodeCols, s.fillCap)
+	b, err := s.fill.fillRows(s.it, s.fillCap, s.EncodeCols)
 	if err != nil || b == nil {
 		return nil, false, err
 	}
@@ -383,7 +397,7 @@ func (s *ClusteredSeek) Morsels(targetRows int) ([]BatchOperator, bool) {
 	}
 	out := make([]BatchOperator, len(morsels))
 	for i, m := range morsels {
-		out[i] = &morselScan{morsel: m, cols: s.Cols, encode: s.EncodeCols, schema: s.schema}
+		out[i] = newMorselScan(m, s.Table, s.Cols, s.EncodeCols, s.schema)
 	}
 	return out, true
 }
@@ -407,6 +421,7 @@ type IndexSeek struct {
 	schema  []ColumnInfo
 	fillCap int
 	covered bool
+	fill    *colFiller
 	// entryPos maps requested column ordinal -> position in the index entry.
 	entryPos map[int]int
 	// rng memoizes the seek's leaf range between NumScanRows and Morsels (see
@@ -430,7 +445,20 @@ func NewIndexSeek(ix *catalog.Index, lo, hi []value.Value, loIncl, hiIncl bool, 
 	for pos, ord := range ix.EntryColumnOrdinals() {
 		s.entryPos[ord] = pos
 	}
+	if s.covered {
+		s.fill = newColFiller(columnKinds(t, cols), s.coveredPositions(), true)
+	}
 	return s, nil
+}
+
+// coveredPositions maps the projected base ordinals to their positions in the
+// index entry payload — the filler's field map for covered seeks.
+func (s *IndexSeek) coveredPositions() []int {
+	out := make([]int, len(s.Cols))
+	for i, ord := range s.Cols {
+		out[i] = s.entryPos[ord]
+	}
+	return out
 }
 
 // Covered reports whether the seek is answered from the index alone.
@@ -484,7 +512,15 @@ func (s *IndexSeek) NextBatch() (*Batch, bool, error) {
 	if s.it == nil {
 		return nil, false, errNotOpen("IndexSeek")
 	}
-	b, err := fillBatchFromEntries(s.it, s, s.fillCap)
+	var b *Batch
+	var err error
+	if s.covered {
+		// Covered seeks decode projected columns straight from entry payload
+		// spans; the base table is never touched.
+		b, err = s.fill.fillEntries(s.it, s.fillCap, s.EncodeCols)
+	} else {
+		b, err = fillBatchFromEntries(s.it, s, s.fillCap)
+	}
 	if err != nil || b == nil {
 		return nil, false, err
 	}
@@ -555,7 +591,13 @@ func (s *IndexSeek) Morsels(targetRows int) ([]BatchOperator, bool) {
 	}
 	out := make([]BatchOperator, len(morsels))
 	for i, m := range morsels {
-		out[i] = &morselIndexSeek{parent: s, morsel: m}
+		ms := &morselIndexSeek{parent: s, morsel: m}
+		if s.covered {
+			// Each morsel owns a non-recycling filler: its batches cross
+			// goroutines through the parallel pipe.
+			ms.fill = newColFiller(columnKinds(s.Index.Table, s.Cols), s.coveredPositions(), false)
+		}
+		out[i] = ms
 	}
 	return out, true
 }
@@ -563,10 +605,12 @@ func (s *IndexSeek) Morsels(targetRows int) ([]BatchOperator, bool) {
 // morselIndexSeek scans one entry morsel of a partitioned index seek,
 // converting entries to output rows exactly like the IndexSeek it was split
 // from (the parent's conversion state — covered flag, entry positions,
-// projection — is immutable after construction, so morsels share it).
+// projection — is immutable after construction, so morsels share it; the
+// filler is per-morsel state).
 type morselIndexSeek struct {
 	parent *IndexSeek
 	morsel catalog.IndexSeekMorsel
+	fill   *colFiller
 
 	it *catalog.IndexIterator
 }
@@ -602,7 +646,13 @@ func (s *morselIndexSeek) NextBatch() (*Batch, bool, error) {
 		return nil, false, errNotOpen("morselIndexSeek")
 	}
 	// Morsels exist because the range is large; start at full batches.
-	b, err := fillBatchFromEntries(s.it, s.parent, DefaultBatchSize)
+	var b *Batch
+	var err error
+	if s.fill != nil {
+		b, err = s.fill.fillEntries(s.it, DefaultBatchSize, s.parent.EncodeCols)
+	} else {
+		b, err = fillBatchFromEntries(s.it, s.parent, DefaultBatchSize)
+	}
 	if err != nil || b == nil {
 		return nil, false, err
 	}

@@ -105,10 +105,26 @@ type HeapIterator struct {
 
 // Next returns the next row and its RID. ok is false at end of file.
 func (it *HeapIterator) Next() (row []value.Value, rid RID, ok bool, err error) {
+	rec, rid, ok := it.NextRecord()
+	if !ok {
+		return nil, RID{}, false, nil
+	}
+	row, _, err = value.DecodeTuple(rec)
+	if err != nil {
+		return nil, RID{}, false, err
+	}
+	return row, rid, true, nil
+}
+
+// NextRecord returns the next row's raw tuple encoding without decoding it —
+// the span-level form the projected scan fill consumes. The record aliases
+// page memory, which the pager keeps resident, so callers may hold it (and
+// sub-spans of it) across Next calls.
+func (it *HeapIterator) NextRecord() (rec []byte, rid RID, ok bool) {
 	for {
 		if it.page == nil {
 			if it.pageIdx >= it.endIdx {
-				return nil, RID{}, false, nil
+				return nil, RID{}, false
 			}
 			it.page = it.heap.pager.Get(it.heap.pageIDs[it.pageIdx])
 			it.slot = 0
@@ -120,11 +136,7 @@ func (it *HeapIterator) Next() (row []value.Value, rid RID, ok bool, err error) 
 			if rec == nil {
 				continue // deleted
 			}
-			row, _, err := value.DecodeTuple(rec)
-			if err != nil {
-				return nil, RID{}, false, err
-			}
-			return row, RID{Page: it.page.ID(), Slot: uint16(slot)}, true, nil
+			return rec, RID{Page: it.page.ID(), Slot: uint16(slot)}, true
 		}
 		it.page = nil
 		it.pageIdx++

@@ -1,0 +1,428 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Projection-aware tuple decoding. DecodeTupleInto materializes every field
+// of a stored tuple; the scan hot paths instead walk the encoding with a
+// TupleWalker, varint-skipping the fields a query never touches, and hand the
+// surviving fields' byte spans to kind-specialized decoders that append
+// straight into column storage. A 2-of-16-column scan decodes 2 fields and
+// skips 14 without constructing a single intermediate Value.
+
+// TupleWalker steps over an encoded tuple (EncodeTuple format) field by
+// field without materializing values. The zero value is empty; Reset
+// positions it at the first field of a tuple.
+type TupleWalker struct {
+	src []byte
+	off int
+	n   int
+}
+
+// Reset points the walker at the tuple encoded in src and parses its header.
+func (w *TupleWalker) Reset(src []byte) error {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return fmt.Errorf("value: corrupt tuple header")
+	}
+	// Every field takes at least one byte, so a field count exceeding the
+	// remaining bytes is corrupt; rejecting it here bounds downstream loops.
+	if n > uint64(len(src)-sz) {
+		return fmt.Errorf("value: tuple header claims %d fields in %d bytes", n, len(src)-sz)
+	}
+	w.src, w.off, w.n = src, sz, int(n)
+	return nil
+}
+
+// NumFields returns the field count from the tuple header.
+func (w *TupleWalker) NumFields() int { return w.n }
+
+// Bytes returns the number of bytes consumed so far (the full tuple length
+// once every field has been walked).
+func (w *TupleWalker) Bytes() int { return w.off }
+
+// skipUvarint advances past one varint/uvarint starting at off, returning the
+// new offset or -1 on corrupt/truncated input.
+func skipUvarint(src []byte, off int) int {
+	end := off + binary.MaxVarintLen64
+	if end > len(src) {
+		end = len(src)
+	}
+	for i := off; i < end; i++ {
+		if src[i] < 0x80 {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// Skip advances past the next n fields without decoding them: integer-family
+// and float fields skip their varint, string fields skip length+bytes, nulls
+// are a bare kind byte. The offsets live in locals so the per-field loop
+// stays register-resident — this is the projected scan's per-row gap cost.
+func (w *TupleWalker) Skip(n int) error {
+	src := w.src
+	off := w.off
+	for ; n > 0; n-- {
+		if off >= len(src) {
+			return fmt.Errorf("value: truncated tuple")
+		}
+		kind := Kind(src[off])
+		off++
+		switch kind {
+		case KindNull:
+		case KindInt, KindDate, KindBool, KindFloat:
+			start := off
+			for {
+				if off >= len(src) || off-start >= binary.MaxVarintLen64 {
+					return fmt.Errorf("value: corrupt varint field")
+				}
+				b := src[off]
+				off++
+				if b < 0x80 {
+					break
+				}
+			}
+		case KindString:
+			length, sz := binary.Uvarint(src[off:])
+			if sz <= 0 {
+				return fmt.Errorf("value: corrupt string length")
+			}
+			off += sz
+			if uint64(len(src)-off) < length {
+				return fmt.Errorf("value: truncated string field")
+			}
+			off += int(length)
+		default:
+			return fmt.Errorf("value: unknown kind %d", kind)
+		}
+	}
+	w.off = off
+	return nil
+}
+
+// DecodeField decodes the next field into *v and advances past it — the
+// fused single-parse form of the typed span decoders, used by the batch fill
+// so each projected field's bytes are read exactly once (FieldSpan + a span
+// decoder would parse the varint twice and round-trip the span through
+// memory).
+func (w *TupleWalker) DecodeField(v *Value) error {
+	src := w.src
+	off := w.off
+	if off >= len(src) {
+		return fmt.Errorf("value: truncated tuple")
+	}
+	kind := Kind(src[off])
+	off++
+	switch kind {
+	case KindNull:
+		*v = Value{}
+	case KindInt, KindDate, KindBool:
+		iv, sz := binary.Varint(src[off:])
+		if sz <= 0 {
+			return fmt.Errorf("value: corrupt int field")
+		}
+		off += sz
+		*v = Value{Kind: kind, I: iv}
+	case KindFloat:
+		bits, sz := binary.Uvarint(src[off:])
+		if sz <= 0 {
+			return fmt.Errorf("value: corrupt float field")
+		}
+		off += sz
+		*v = Value{Kind: KindFloat, F: math.Float64frombits(bits)}
+	case KindString:
+		length, sz := binary.Uvarint(src[off:])
+		if sz <= 0 {
+			return fmt.Errorf("value: corrupt string length")
+		}
+		off += sz
+		if uint64(len(src)-off) < length {
+			return fmt.Errorf("value: truncated string field")
+		}
+		*v = Value{Kind: KindString, S: string(src[off : off+int(length)])}
+		off += int(length)
+	default:
+		return fmt.Errorf("value: unknown kind %d", kind)
+	}
+	w.off = off
+	return nil
+}
+
+// FieldSpan returns the raw encoded bytes of the next field — kind byte plus
+// body — and advances past it. The span aliases the tuple's backing buffer.
+func (w *TupleWalker) FieldSpan() ([]byte, error) {
+	start := w.off
+	if err := w.Skip(1); err != nil {
+		return nil, err
+	}
+	return w.src[start:w.off], nil
+}
+
+// decodeFieldSpan decodes one raw field span (as returned by FieldSpan) into
+// a Value — the generic fallback behind the typed decoders. An empty span
+// decodes as NULL: the batch fill emits nil spans for ordinals past a tuple's
+// field count, mirroring DecodeProjectedInto's past-end convention.
+func decodeFieldSpan(sp []byte) (Value, error) {
+	if len(sp) == 0 {
+		return Null(), nil
+	}
+	kind := Kind(sp[0])
+	switch kind {
+	case KindNull:
+		return Null(), nil
+	case KindInt, KindDate, KindBool:
+		iv, sz := binary.Varint(sp[1:])
+		if sz <= 0 {
+			return Null(), fmt.Errorf("value: corrupt int field")
+		}
+		return Value{Kind: kind, I: iv}, nil
+	case KindFloat:
+		bits, sz := binary.Uvarint(sp[1:])
+		if sz <= 0 {
+			return Null(), fmt.Errorf("value: corrupt float field")
+		}
+		return NewFloat(math.Float64frombits(bits)), nil
+	case KindString:
+		length, sz := binary.Uvarint(sp[1:])
+		if sz <= 0 || 1+sz+int(length) > len(sp) {
+			return Null(), fmt.Errorf("value: corrupt string field")
+		}
+		return NewString(string(sp[1+sz : 1+sz+int(length)])), nil
+	default:
+		return Null(), fmt.Errorf("value: unknown kind %d", kind)
+	}
+}
+
+// DecodeInt64s appends one decoded value per field span to dst, specialized
+// for an integer-family column (INT, DATE, BOOL): spans whose kind byte
+// matches take a tight varint loop, anything else (NULLs, mixed kinds) falls
+// back to the generic decoder. It is the batch fill primitive for integer
+// columns: no intermediate row, no per-field dispatch beyond one byte test.
+func DecodeInt64s(dst []Value, kind Kind, spans [][]byte) ([]Value, error) {
+	for _, sp := range spans {
+		if len(sp) > 1 && Kind(sp[0]) == kind {
+			iv, sz := binary.Varint(sp[1:])
+			if sz > 0 {
+				dst = append(dst, Value{Kind: kind, I: iv})
+				continue
+			}
+		}
+		v, err := decodeFieldSpan(sp)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// DecodeFloat64s appends one decoded value per field span to dst, specialized
+// for a FLOAT column.
+func DecodeFloat64s(dst []Value, spans [][]byte) ([]Value, error) {
+	for _, sp := range spans {
+		if len(sp) > 1 && Kind(sp[0]) == KindFloat {
+			bits, sz := binary.Uvarint(sp[1:])
+			if sz > 0 {
+				dst = append(dst, Value{Kind: KindFloat, F: math.Float64frombits(bits)})
+				continue
+			}
+		}
+		v, err := decodeFieldSpan(sp)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// DecodeStrings appends one decoded value per field span to dst, specialized
+// for a STRING column. The string contents are copied out of the spans (the
+// spans alias page memory; the produced Values must not).
+func DecodeStrings(dst []Value, spans [][]byte) ([]Value, error) {
+	for _, sp := range spans {
+		if len(sp) > 1 && Kind(sp[0]) == KindString {
+			length, sz := binary.Uvarint(sp[1:])
+			if sz > 0 && 1+sz+int(length) <= len(sp) {
+				dst = append(dst, Value{Kind: KindString, S: string(sp[1+sz : 1+sz+int(length)])})
+				continue
+			}
+		}
+		v, err := decodeFieldSpan(sp)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// DecodeFieldSpans appends one decoded value per field span to dst with the
+// generic per-span decoder — the fill path for columns without a sharper
+// declared kind.
+func DecodeFieldSpans(dst []Value, spans [][]byte) ([]Value, error) {
+	for _, sp := range spans {
+		v, err := decodeFieldSpan(sp)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// DecodeProjectedInto decodes only the fields at the ordinals listed in cols
+// (strictly ascending) from an encoded tuple, appending them to dst in cols
+// order. Unrequested fields are varint-skipped without constructing Values.
+// Ordinals beyond the tuple's field count decode as NULL (tuples written
+// before a hypothetical schema extension), matching DecodeTupleInto's shape.
+func DecodeProjectedInto(dst []Value, src []byte, cols []int) ([]Value, error) {
+	var w TupleWalker
+	if err := w.Reset(src); err != nil {
+		return dst, err
+	}
+	prev := 0
+	for _, ord := range cols {
+		if ord >= w.n {
+			dst = append(dst, Null())
+			continue
+		}
+		if err := w.Skip(ord - prev); err != nil {
+			return dst, err
+		}
+		sp, err := w.FieldSpan()
+		if err != nil {
+			return dst, err
+		}
+		v, err := decodeFieldSpan(sp)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+		prev = ord + 1
+	}
+	return dst, nil
+}
+
+// sortKeyToFloat inverts NumericSortKey: the exact float64 whose sortable
+// form is w.
+func sortKeyToFloat(w uint64) float64 {
+	if w>>63 != 0 {
+		return math.Float64frombits(w &^ (1 << 63))
+	}
+	return math.Float64frombits(^w)
+}
+
+// DecodeKeyValue decodes one column's contribution to EncodeKey back into a
+// Value, interpreting the order-preserving Number tag with the column's
+// declared kind. It returns the value and the number of key bytes consumed.
+//
+// Recovery is exact only under the conditions the catalog's key-cleanliness
+// tracking enforces at insert time: the stored value's kind matched the
+// declared kind, integer-family values were within ±2^53 (the NumericSortKey
+// word is float64-based), and floats were not negative zero (normalized away
+// by the encoder). Strings and NULLs always recover exactly (the 0x00 escape
+// scheme is reversible).
+func DecodeKeyValue(src []byte, kind Kind) (Value, int, error) {
+	if len(src) == 0 {
+		return Null(), 0, fmt.Errorf("value: empty key")
+	}
+	switch src[0] {
+	case keyTagNull:
+		return Null(), 1, nil
+	case keyTagNumber:
+		if len(src) < 9 {
+			return Null(), 0, fmt.Errorf("value: truncated numeric key")
+		}
+		f := sortKeyToFloat(binary.BigEndian.Uint64(src[1:9]))
+		if kind == KindFloat {
+			return Value{Kind: KindFloat, F: f}, 9, nil
+		}
+		if f != math.Trunc(f) || math.Abs(f) > 1<<53 {
+			return Null(), 0, fmt.Errorf("value: numeric key %v does not recover exactly as %v", f, kind)
+		}
+		return Value{Kind: kind, I: int64(f)}, 9, nil
+	case keyTagString:
+		var buf []byte
+		for i := 1; i < len(src); i++ {
+			b := src[i]
+			if b != 0x00 {
+				buf = append(buf, b)
+				continue
+			}
+			if i+1 >= len(src) {
+				break
+			}
+			i++
+			switch src[i] {
+			case 0x00: // terminator
+				return Value{Kind: KindString, S: string(buf)}, i + 1, nil
+			case 0xFF: // escaped 0x00
+				buf = append(buf, 0x00)
+			default:
+				return Null(), 0, fmt.Errorf("value: corrupt string key escape")
+			}
+		}
+		return Null(), 0, fmt.Errorf("value: unterminated string key")
+	default:
+		return Null(), 0, fmt.Errorf("value: unknown key tag %d", src[0])
+	}
+}
+
+// SkipKeyValue returns the number of key bytes one encoded key value
+// occupies, without decoding it.
+func SkipKeyValue(src []byte) (int, error) {
+	if len(src) == 0 {
+		return 0, fmt.Errorf("value: empty key")
+	}
+	switch src[0] {
+	case keyTagNull:
+		return 1, nil
+	case keyTagNumber:
+		if len(src) < 9 {
+			return 0, fmt.Errorf("value: truncated numeric key")
+		}
+		return 9, nil
+	case keyTagString:
+		for i := 1; i+1 < len(src); i++ {
+			if src[i] == 0x00 {
+				if src[i+1] == 0x00 {
+					return i + 2, nil
+				}
+				i++ // escaped byte
+			}
+		}
+		return 0, fmt.Errorf("value: unterminated string key")
+	default:
+		return 0, fmt.Errorf("value: unknown key tag %d", src[0])
+	}
+}
+
+// KeyValueRecoverable reports whether v, stored in a key column declared as
+// kind k, round-trips exactly through the order-preserving key encoding when
+// decoded back with DecodeKeyValue. The catalog checks this on every insert
+// into a clustered key column; one false verdict disables key-byte recovery
+// for the table (the payload remains the source of truth).
+func KeyValueRecoverable(v Value, k Kind) bool {
+	if v.Kind == KindNull {
+		return true
+	}
+	if v.Kind != k {
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return true
+	case KindFloat:
+		// -0.0 normalizes to +0.0 inside NumericSortKey.
+		return !(v.F == 0 && math.Signbit(v.F))
+	case KindInt, KindDate, KindBool:
+		return v.I <= 1<<53 && v.I >= -(1<<53)
+	default:
+		return false
+	}
+}

@@ -51,6 +51,12 @@ func DecodeTupleInto(buf []Value, src []byte) ([]Value, int, error) {
 	if sz <= 0 {
 		return nil, 0, fmt.Errorf("value: corrupt tuple header")
 	}
+	// Every field occupies at least one byte, so a count exceeding the
+	// remaining bytes is corruption — reject it before sizing the row, or a
+	// corrupt header could demand an arbitrarily large allocation.
+	if n > uint64(len(src)-sz) {
+		return nil, 0, fmt.Errorf("value: corrupt tuple header: %d fields in %d bytes", n, len(src)-sz)
+	}
 	off := sz
 	var row []Value
 	if uint64(cap(buf)) >= n {
@@ -87,7 +93,9 @@ func DecodeTupleInto(buf []Value, src []byte) ([]Value, int, error) {
 				return nil, 0, fmt.Errorf("value: corrupt string field %d", i)
 			}
 			off += sz
-			if off+int(length) > len(src) {
+			// Compare in uint64: a corrupt length near 2^64 overflows the
+			// off+int(length) form into a negative bound and a slice panic.
+			if uint64(len(src)-off) < length {
 				return nil, 0, fmt.Errorf("value: truncated string field %d", i)
 			}
 			row[i] = NewString(string(src[off : off+int(length)]))
