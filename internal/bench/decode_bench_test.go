@@ -123,6 +123,95 @@ func BenchmarkWideScanProjected(b *testing.B) {
 	b.Run("all_16", func(b *testing.B) { runWideQuery(b, e, wideAllColSQL) })
 }
 
+// The string-heavy table: 8 of 9 columns are VARCHAR, split between
+// low-cardinality columns (category/status/shipmode-like, where dictionary
+// decode collapses per-value work to a code lookup) and high-cardinality ones
+// (names/comments, where only an arena can amortize the per-value string
+// allocation). It is the benchmark shape for the string decode floor.
+const strRows = 40000
+
+const strDDL = `CREATE TABLE strwide (
+	s_key BIGINT,
+	s_status VARCHAR(1), s_cat VARCHAR(8), s_region VARCHAR(12), s_tag VARCHAR(10),
+	s_name VARCHAR(24), s_note VARCHAR(44), s_desc VARCHAR(32), s_alt VARCHAR(16),
+	PRIMARY KEY (s_key))`
+
+var strCats = []string{"ALPHA", "BETA", "GAMMA", "DELTA", "EPSILON"}
+var strRegions = []string{"AMERICA", "EUROPE", "ASIA", "AFRICA", "MIDDLE EAST", "OCEANIA"}
+var strTags = []string{"HOT", "COLD", "WARM", "FROZEN", "MILD", "DRY", "WET", "DAMP"}
+
+func strRow(i int) []value.Value {
+	return []value.Value{
+		value.NewInt(int64(i)),
+		value.NewString(string(rune('A' + i%4))),
+		value.NewString(strCats[i%len(strCats)]),
+		value.NewString(strRegions[i%len(strRegions)]),
+		value.NewString(strTags[i%len(strTags)]),
+		value.NewString(fmt.Sprintf("name-%d-%d", i%977, i)),
+		value.NewString(fmt.Sprintf("note row %d padded with detail %d", i, i*31%1000)),
+		value.NewString(fmt.Sprintf("description %d block %d", i*7%10000, i%64)),
+		value.NewString(fmt.Sprintf("alt-%d", i*13%100000)),
+	}
+}
+
+var (
+	strOnce   sync.Once
+	strEng    *engine.Engine
+	strEngErr error
+)
+
+func strEngine(b *testing.B) *engine.Engine {
+	b.Helper()
+	strOnce.Do(func() {
+		opts := engine.Options{TupleOverhead: -1}
+		e := engine.New(opts)
+		if _, strEngErr = e.Execute(strDDL); strEngErr != nil {
+			return
+		}
+		rows := make([][]value.Value, strRows)
+		for i := range rows {
+			rows[i] = strRow(i)
+		}
+		if strEngErr = e.BulkLoad("strwide", rows); strEngErr == nil {
+			strEng = e
+		}
+	})
+	if strEngErr != nil {
+		b.Fatalf("string engine: %v", strEngErr)
+	}
+	return strEng
+}
+
+// strProjectedSQL touches 3 of the 8 string columns — one low-cardinality
+// (dict decode) and two high-cardinality (arena decode).
+const strProjectedSQL = "SELECT COUNT(*), MIN(s_name), MAX(s_note) FROM strwide WHERE s_status = 'A'"
+
+// strFullSQL touches every column: the full string-decode reference point.
+const strFullSQL = "SELECT COUNT(*), MIN(s_status), MAX(s_cat), MIN(s_region), MAX(s_tag), " +
+	"MIN(s_name), MAX(s_note), MIN(s_desc), MAX(s_alt) FROM strwide WHERE s_key >= 0"
+
+// BenchmarkStringScan measures the string decode floor: a projected scan
+// touching 3 of 8 varchar columns and a full scan touching all of them, over
+// a table where nearly every byte decoded is string data.
+func BenchmarkStringScan(b *testing.B) {
+	e := strEngine(b)
+	run := func(b *testing.B, sql string) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Query(sql)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 1 {
+				b.Fatalf("got %d rows, want 1", len(res.Rows))
+			}
+		}
+		b.ReportMetric(float64(strRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	}
+	b.Run("projected_3_of_9", func(b *testing.B) { run(b, strProjectedSQL) })
+	b.Run("full_9", func(b *testing.B) { run(b, strFullSQL) })
+}
+
 // BenchmarkJoinBuildWideProjected drains the wide table as a hash-join build
 // side that needs only the key and one payload column — the join-build decode
 // path. The probe side is tiny, so the build drain dominates.

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"oldelephant/internal/storage"
@@ -32,7 +33,29 @@ type BTree struct {
 	// It is an atomic pointer because concurrent read-only queries race to
 	// fill it (two sessions planning parallel scans of one table).
 	leafCache atomic.Pointer[[]storage.PageID]
+	// parsed caches fully-parsed leaf nodes by page id, so that repeated
+	// scans, seeks, and morsel workers visiting a leaf pay readNodeInto once
+	// per mutation epoch instead of once per visit. Cached entries alias
+	// stable page memory (like every entry slice) and are shared read-only
+	// between concurrent iterators; the RWMutex covers only the map, and the
+	// same mutation paths that clear leafCache clear it wholesale. Page reads
+	// still go through the pager on every visit, so a cache hit changes no
+	// I/O accounting — only the parse is amortized.
+	parsedMu sync.RWMutex
+	parsed   map[storage.PageID]*parsedLeaf
 }
+
+// parsedLeaf is one cached leaf parse: its entries and next-leaf pointer.
+type parsedLeaf struct {
+	entries []entry
+	next    uint64
+}
+
+// maxParsedLeaves bounds the parse cache. At a few KB of entry headers per
+// leaf this caps the cache near the size of the pages it mirrors; trees with
+// more leaves serve the overflow by parsing into the iterator's scratch
+// buffer, exactly as every leaf was handled before the cache existed.
+const maxParsedLeaves = 8192
 
 // entry is one (key, payload) pair inside a node. In internal nodes the
 // payload is an 8-byte child page id.
@@ -47,7 +70,7 @@ func New(pager *storage.Pager, overhead int) *BTree {
 	if overhead < 0 {
 		overhead = storage.DefaultTupleOverhead
 	}
-	t := &BTree{pager: pager, overhead: overhead}
+	t := &BTree{pager: pager, overhead: overhead, parsed: make(map[storage.PageID]*parsedLeaf)}
 	root := pager.Allocate()
 	writeNode(root, true, nil, 0)
 	t.root = root.ID()
@@ -65,15 +88,14 @@ func (t *BTree) Height() int { return t.height }
 func (t *BTree) RootPage() storage.PageID { return t.root }
 
 // NumLeafPages walks the leaf chain and returns its length. Intended for
-// statistics and tests; it performs I/O.
+// statistics and tests; it performs I/O. The walk reads only each leaf's Aux
+// word (the next-leaf pointer) — no record parsing.
 func (t *BTree) NumLeafPages() int {
 	id := t.firstLeaf()
 	n := 0
 	for id != storage.InvalidPageID {
 		n++
-		pg := t.pager.Get(id)
-		_, _, next := readNode(pg)
-		id = storage.PageID(next)
+		id = storage.PageID(t.pager.Get(id).Aux())
 	}
 	return n
 }
@@ -155,6 +177,54 @@ func readNodeInto(pg *storage.Page, buf []entry) (isLeaf bool, entries []entry, 
 	return isLeaf, entries, extra
 }
 
+// invalidateCaches drops the memoized leaf chain and every cached leaf parse.
+// Called by the same structural mutations that rewrite pages (Insert, Delete,
+// BulkLoad) before they touch any node, so readers that start after the
+// mutation never observe stale parses.
+func (t *BTree) invalidateCaches() {
+	t.leafCache.Store(nil)
+	t.parsedMu.Lock()
+	clear(t.parsed)
+	t.parsedMu.Unlock()
+}
+
+// loadLeaf returns the parsed form of a leaf page, serving repeated visits
+// from the parse cache. The page is fetched through the pager first in every
+// case, so the I/O simulation charges a cache hit identically to a parse. On
+// a cache miss the leaf is parsed into a fresh slice and cached (shared=true)
+// unless the cache is full, in which case it is parsed into scratch
+// (shared=false) and the caller keeps ownership. Shared results are read-only
+// and must never be written through.
+func (t *BTree) loadLeaf(id storage.PageID, scratch []entry) (entries []entry, next uint64, shared bool) {
+	pg := t.pager.Get(id)
+	t.parsedMu.RLock()
+	pl, ok := t.parsed[id]
+	t.parsedMu.RUnlock()
+	if ok {
+		return pl.entries, pl.next, true
+	}
+	full := false
+	t.parsedMu.RLock()
+	full = len(t.parsed) >= maxParsedLeaves
+	t.parsedMu.RUnlock()
+	if full {
+		_, entries, next = readNodeInto(pg, scratch)
+		return entries, next, false
+	}
+	_, owned, extra := readNode(pg)
+	pl = &parsedLeaf{entries: owned, next: extra}
+	t.parsedMu.Lock()
+	if prev, ok := t.parsed[id]; ok {
+		// A concurrent reader cached the identical parse first; share it so
+		// every iterator observes one stable slice.
+		pl = prev
+	} else {
+		t.parsed[id] = pl
+	}
+	t.parsedMu.Unlock()
+	return pl.entries, pl.next, true
+}
+
 // entrySize returns the on-page footprint of an entry, including the leaf
 // overhead when applicable.
 func (t *BTree) entrySize(e entry, isLeaf bool) int {
@@ -191,7 +261,7 @@ func (t *BTree) Insert(key, val []byte) error {
 	if len(key)+len(val) > usableBytes/4 {
 		return fmt.Errorf("btree: entry of %d bytes is too large", len(key)+len(val))
 	}
-	t.leafCache.Store(nil)
+	t.invalidateCaches()
 	promoted, newChild, err := t.insertInto(t.root, key, val)
 	if err != nil {
 		return err
@@ -317,7 +387,7 @@ func lowerBound(entries []entry, key []byte) int {
 // removed. Nodes are not rebalanced: the workload is read-mostly and
 // underfull nodes only waste space, never correctness.
 func (t *BTree) Delete(key []byte) bool {
-	t.leafCache.Store(nil)
+	t.invalidateCaches()
 	id := t.leafFor(key)
 	for id != storage.InvalidPageID {
 		pg := t.pager.Get(id)
@@ -388,16 +458,20 @@ func (t *BTree) leafFor(key []byte) storage.PageID {
 	}
 }
 
-// firstLeaf returns the leftmost leaf page.
+// firstLeaf returns the leftmost leaf page. The descent inspects only each
+// node's first record marker and Aux word (the leftmost child) — no parsing.
 func (t *BTree) firstLeaf() storage.PageID {
 	id := t.root
 	for {
 		pg := t.pager.Get(id)
-		isLeaf, _, extra := readNode(pg)
-		if isLeaf {
+		if pg.NumSlots() == 0 {
+			return id // only an empty root leaf has no records
+		}
+		first := pg.Record(0)
+		if first == nil || first[0] == recLeaf {
 			return id
 		}
-		id = storage.PageID(extra)
+		id = storage.PageID(pg.Aux())
 	}
 }
 
@@ -414,6 +488,12 @@ type Iterator struct {
 	// (-1 = unbounded). Leaf-range iterators (ScanLeaves) use it to stop at
 	// their partition boundary instead of a key.
 	leavesLeft int
+	// scratch is the iterator-owned parse buffer for leaves served outside
+	// the tree's parse cache. It is deliberately separate from entries: when
+	// a leaf comes from the cache, entries aliases the shared cached slice,
+	// and parsing the next (uncached) leaf into it would overwrite memory
+	// other iterators are reading.
+	scratch []entry
 }
 
 // Key returns the current entry's key. Valid only after Next reported true.
@@ -452,10 +532,93 @@ func (it *Iterator) Next() bool {
 		if it.leavesLeft > 0 {
 			it.leavesLeft--
 		}
-		pg := it.tree.pager.Get(it.leaf)
-		// Reuse the iterator's entries buffer: Key()/Value() spans alias page
-		// memory, not this slice, so recycling it is invisible to callers.
-		_, entries, extra := readNodeInto(pg, it.entries)
+		// Cached leaves hand back a shared read-only parse; misses reuse the
+		// iterator's scratch buffer (Key()/Value() spans alias page memory,
+		// not the entry slice, so recycling scratch is invisible to callers).
+		entries, extra, shared := it.tree.loadLeaf(it.leaf, it.scratch)
+		if !shared {
+			it.scratch = entries
+		}
+		it.entries = entries
+		it.pos = 0
+		it.leaf = storage.PageID(extra)
+		if len(entries) == 0 && it.leaf == storage.InvalidPageID {
+			it.done = true
+			return false
+		}
+	}
+}
+
+// NextSpans bulk-advances the iterator, filling keys (when non-nil) and vals
+// with up to len(vals) entries' key/value spans, and returns how many it
+// filled — fewer only at exhaustion. It is Next/Key/Value with the per-row
+// call overhead and bound checks hoisted out of the loop: batch fills drain a
+// whole cached leaf parse with one call per batch. The spans alias page
+// memory exactly as Key/Value do.
+func (it *Iterator) NextSpans(keys, vals [][]byte) int {
+	n := 0
+	for n < len(vals) {
+		if it.pos >= len(it.entries) {
+			if !it.advanceLeaf() {
+				break
+			}
+			continue
+		}
+		entries := it.entries[it.pos:]
+		if want := len(vals) - n; len(entries) > want {
+			entries = entries[:want]
+		}
+		if it.stopKey != nil {
+			// Clip the run at the stop key; entries within a leaf are sorted,
+			// so everything before the first out-of-bound entry is in range.
+			for i := range entries {
+				cmp := bytes.Compare(entries[i].key, it.stopKey)
+				if cmp > 0 || (cmp == 0 && !it.stopIncl) {
+					entries = entries[:i]
+					it.done = true
+					break
+				}
+			}
+		}
+		for i := range entries {
+			vals[n+i] = entries[i].val
+		}
+		if keys != nil {
+			for i := range entries {
+				keys[n+i] = entries[i].key
+			}
+		}
+		it.pos += len(entries)
+		n += len(entries)
+		if it.done {
+			break
+		}
+	}
+	return n
+}
+
+// advanceLeaf loads the next leaf into the iterator, returning false at the
+// end of the range. On return with true, entries is non-empty... or the next
+// iteration advances again (empty trailing leaves).
+func (it *Iterator) advanceLeaf() bool {
+	for {
+		if it.done {
+			return false
+		}
+		if it.pos < len(it.entries) {
+			return true
+		}
+		if it.leaf == storage.InvalidPageID || it.leavesLeft == 0 {
+			it.done = true
+			return false
+		}
+		if it.leavesLeft > 0 {
+			it.leavesLeft--
+		}
+		entries, extra, shared := it.tree.loadLeaf(it.leaf, it.scratch)
+		if !shared {
+			it.scratch = entries
+		}
 		it.entries = entries
 		it.pos = 0
 		it.leaf = storage.PageID(extra)
@@ -483,9 +646,7 @@ func (t *BTree) LeafPages() []storage.PageID {
 	var out []storage.PageID
 	for id := t.firstLeaf(); id != storage.InvalidPageID; {
 		out = append(out, id)
-		pg := t.pager.Get(id)
-		_, _, extra := readNode(pg)
-		id = storage.PageID(extra)
+		id = storage.PageID(t.pager.Get(id).Aux())
 	}
 	t.leafCache.Store(&out)
 	return out
@@ -506,15 +667,20 @@ func (t *BTree) LeafRange(start, stop []byte, stopIncl bool) []storage.PageID {
 	}
 	for id != storage.InvalidPageID {
 		pg := t.pager.Get(id)
-		_, entries, extra := readNode(pg)
-		if stop != nil && len(entries) > 0 {
-			cmp := bytes.Compare(entries[0].key, stop)
-			if cmp > 0 || (cmp == 0 && !stopIncl) {
-				break
+		// Only the first record's key decides the stop bound; the leaf is not
+		// parsed. A missing first record skips the check (the extra leaf is
+		// harmless: iterators enforce the stop key themselves).
+		if stop != nil && pg.NumSlots() > 0 {
+			if rec := pg.Record(0); rec != nil {
+				k, _ := recordKeyVal(rec)
+				cmp := bytes.Compare(k, stop)
+				if cmp > 0 || (cmp == 0 && !stopIncl) {
+					break
+				}
 			}
 		}
 		out = append(out, id)
-		id = storage.PageID(extra)
+		id = storage.PageID(pg.Aux())
 	}
 	return out
 }
@@ -530,8 +696,10 @@ func (t *BTree) LeafRange(start, stop []byte, stopIncl bool) []storage.PageID {
 func (t *BTree) SeekLeaves(start storage.PageID, count int, startKey, stop []byte, stopIncl bool) *Iterator {
 	it := &Iterator{tree: t, stopKey: stop, stopIncl: stopIncl, leaf: start, leavesLeft: count}
 	if startKey != nil && count > 0 {
-		pg := t.pager.Get(start)
-		_, entries, extra := readNode(pg)
+		entries, extra, shared := t.loadLeaf(start, nil)
+		if !shared {
+			it.scratch = entries
+		}
 		it.entries = entries
 		it.pos = lowerBound(entries, startKey)
 		it.leaf = storage.PageID(extra)
@@ -556,11 +724,12 @@ func (t *BTree) Seek(start, stop []byte, stopIncl bool) *Iterator {
 		return it
 	}
 	leafID := t.leafFor(start)
-	pg := t.pager.Get(leafID)
-	_, entries, extra := readNode(pg)
-	pos := lowerBound(entries, start)
+	entries, extra, shared := t.loadLeaf(leafID, nil)
+	if !shared {
+		it.scratch = entries
+	}
 	it.entries = entries
-	it.pos = pos
+	it.pos = lowerBound(entries, start)
 	it.leaf = storage.PageID(extra)
 	return it
 }
@@ -580,7 +749,7 @@ func (t *BTree) Get(key []byte) ([]byte, bool) {
 // table loading and c-table construction. It returns an error if the input
 // is not sorted.
 func (t *BTree) BulkLoad(next func() (key, val []byte, ok bool), fillFactor float64) error {
-	t.leafCache.Store(nil)
+	t.invalidateCaches()
 	if fillFactor <= 0 || fillFactor > 1 {
 		fillFactor = 1.0
 	}

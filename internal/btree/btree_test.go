@@ -402,3 +402,152 @@ func TestPropertyRandomOperations(t *testing.T) {
 		}
 	}
 }
+
+// collectScan drains a full scan into (key, value) string pairs.
+func collectScan(tr *BTree) []string {
+	var out []string
+	it := tr.Scan()
+	for it.Next() {
+		out = append(out, string(it.Key())+"="+string(it.Value()))
+	}
+	return out
+}
+
+// TestParsedLeafCacheInvalidation exercises the parsed-leaf cache across every
+// mutation path: a scan populates the cache, and each of Insert, Delete, and
+// BulkLoad must invalidate it so later scans see the new tree, not a stale
+// parse of recycled pages.
+func TestParsedLeafCacheInvalidation(t *testing.T) {
+	tr := New(storage.NewPager(0), 0)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(intKey(int64(i*2)), []byte(fmt.Sprintf("v%d", i*2))); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("want multi-leaf tree, height=%d", tr.Height())
+	}
+	before := collectScan(tr) // warms the parsed-leaf cache
+	if len(before) != n {
+		t.Fatalf("scan saw %d entries, want %d", len(before), n)
+	}
+
+	// Insert an interior key: a cached stale leaf would hide it.
+	if err := tr.Insert(intKey(4001), []byte("mid")); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	after := collectScan(tr)
+	if len(after) != n+1 {
+		t.Fatalf("scan after insert saw %d entries, want %d", len(after), n+1)
+	}
+	if !sort.StringsAreSorted(after) {
+		// Key encoding sorts bytewise, so the string form is ordered too.
+		t.Fatal("scan after insert not in key order")
+	}
+
+	// Delete: a stale parse would resurrect the entry.
+	if !tr.Delete(intKey(4001)) {
+		t.Fatal("delete missed")
+	}
+	if got := collectScan(tr); len(got) != n {
+		t.Fatalf("scan after delete saw %d entries, want %d", len(got), n)
+	}
+
+	// BulkLoad rebuilds the tree wholesale onto fresh pages; the cache keyed
+	// by old page ids must not leak into the new tree's scans.
+	next := 0
+	if err := tr.BulkLoad(func() ([]byte, []byte, bool) {
+		if next >= 100 {
+			return nil, nil, false
+		}
+		k, v := intKey(int64(next)), []byte(fmt.Sprintf("b%d", next))
+		next++
+		return k, v, true
+	}, 1.0); err != nil {
+		t.Fatalf("bulkload: %v", err)
+	}
+	got := collectScan(tr)
+	if len(got) != 100 {
+		t.Fatalf("scan after bulkload saw %d entries, want 100", len(got))
+	}
+	if got[0] != string(intKey(0))+"=b0" {
+		t.Fatalf("scan after bulkload starts with %q", got[0])
+	}
+}
+
+// TestIteratorsShareCachedParses runs two interleaved full scans so both ride
+// the same cached leaf parses, checking neither corrupts the other (cached
+// entry slices are shared read-only; misses parse into iterator-private
+// scratch).
+func TestIteratorsShareCachedParses(t *testing.T) {
+	tr := New(storage.NewPager(0), 0)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(intKey(int64(i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	a, b := tr.Scan(), tr.Scan()
+	for i := 0; i < n; i++ {
+		if !a.Next() || !b.Next() {
+			t.Fatalf("iterator ended early at %d", i)
+		}
+		want := fmt.Sprintf("v%d", i)
+		if string(a.Value()) != want || string(b.Value()) != want {
+			t.Fatalf("row %d: a=%q b=%q want %q", i, a.Value(), b.Value(), want)
+		}
+	}
+	if a.Next() || b.Next() {
+		t.Fatal("iterators should be exhausted")
+	}
+}
+
+// TestNextSpansMatchesNext pins the bulk span fetch against the per-row
+// iterator: same entries, same order, same stop-key clipping.
+func TestNextSpansMatchesNext(t *testing.T) {
+	tr := New(storage.NewPager(0), 0)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(intKey(int64(i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	for _, tc := range []struct {
+		name     string
+		mk       func() *Iterator
+		wantRows int
+	}{
+		{"full", func() *Iterator { return tr.Scan() }, n},
+		{"range", func() *Iterator { return tr.Seek(intKey(100), intKey(2099), true) }, 2000},
+	} {
+		ref := tc.mk()
+		var want []string
+		for ref.Next() {
+			want = append(want, string(ref.Key())+"="+string(ref.Value()))
+		}
+		if len(want) != tc.wantRows {
+			t.Fatalf("%s: reference iterator saw %d rows, want %d", tc.name, len(want), tc.wantRows)
+		}
+		it := tc.mk()
+		keys, vals := make([][]byte, 192), make([][]byte, 192)
+		var got []string
+		for {
+			m := it.NextSpans(keys, vals)
+			if m == 0 {
+				break
+			}
+			for i := 0; i < m; i++ {
+				got = append(got, string(keys[i])+"="+string(vals[i]))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: NextSpans saw %d rows, want %d", tc.name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: row %d = %q, want %q", tc.name, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -151,8 +151,9 @@ type Table struct {
 	uniquifier int64
 	// keyDirty records that some inserted row held a clustered-key value that
 	// does not round-trip exactly through the order-preserving key encoding
-	// (kind mismatch against the declared column, integer beyond ±2^53, or
-	// negative-zero float). While clean, projected scans may recover key
+	// (kind mismatch against the declared column, or negative-zero float;
+	// integers of any magnitude round-trip via the typed int-suffix word).
+	// While clean, projected scans may recover key
 	// columns from the B+-tree key bytes instead of decoding the payload; one
 	// dirty insert disables that for the table's lifetime.
 	keyDirty bool
@@ -740,6 +741,30 @@ func (it *RowIterator) NextRaw() (key, payload []byte, ok bool) {
 	}
 	rec, _, ok := it.heap.NextRecord()
 	return nil, rec, ok
+}
+
+// NextRawSpans is NextRaw amortized over a whole batch: it fills payloads
+// (and keys, when non-nil) with up to len(payloads) rows' raw storage spans
+// and returns how many it filled — fewer only at exhaustion. Clustered tables
+// drain the B+-tree's cached leaf parses chunk-at-a-time; heap tables fall
+// back to the per-record walk. All spans alias stable page memory.
+func (it *RowIterator) NextRawSpans(keys, payloads [][]byte) int {
+	if it.tree != nil {
+		return it.tree.NextSpans(keys, payloads)
+	}
+	n := 0
+	for n < len(payloads) {
+		rec, _, ok := it.heap.NextRecord()
+		if !ok {
+			break
+		}
+		if keys != nil {
+			keys[n] = nil
+		}
+		payloads[n] = rec
+		n++
+	}
+	return n
 }
 
 // NextProjectedInto is NextInto decoding only the base-table ordinals listed

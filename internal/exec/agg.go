@@ -566,6 +566,194 @@ func (s *segmentIter) next(i int) (p, reps int) {
 	return p, reps
 }
 
+// foldGlobal folds one batch into the single group of a global (no GROUP BY)
+// aggregate, column-at-a-time: each aggregate consumes its whole argument
+// vector in a kind-specialized loop instead of paying a Vector.Get dispatch
+// and an addN call per row per aggregate. Compressed vectors fold run-at-a-
+// time through addN, which already collapses a run to one operation.
+func foldGlobal(states []*aggState, aggs []AggSpec, b *Batch, argVecs []*vector.Vector) {
+	n := b.NumRows()
+	for j, a := range aggs {
+		st := states[j]
+		if a.Kind == AggCountStar {
+			st.count += int64(n)
+			continue
+		}
+		vec := argVecs[j]
+		if vec.Encoding() == vector.Flat {
+			st.foldFlat(vec.Flat(), b.Sel, a.Kind)
+			continue
+		}
+		end := b.physRows()
+		if sel := b.Sel; sel != nil {
+			// A run's value is constant over [p, RunEndAt(p)), so every
+			// selected row inside it folds as one (value, count) pair.
+			for i := 0; i < len(sel); {
+				p := sel[i]
+				e := vec.RunEndAt(p)
+				reps := 1
+				for i+reps < len(sel) && sel[i+reps] < e {
+					reps++
+				}
+				st.addN(vec.Get(p), int64(reps), a.Kind)
+				i += reps
+			}
+			continue
+		}
+		for p := 0; p < end; {
+			e := vec.RunEndAt(p)
+			st.addN(vec.Get(p), int64(e-p), a.Kind)
+			p = e
+		}
+	}
+}
+
+// foldFlat folds a flat argument column into the state with the per-kind loop
+// bodies of addN inlined — the global aggregate's hottest path. Each body
+// reproduces addN's semantics exactly (NULL skip, count/seen updates, the
+// numeric/string comparison rules of value.Compare for same-kind pairs).
+func (s *aggState) foldFlat(vals []value.Value, sel []int, kind AggKind) {
+	switch kind {
+	case AggSum, AggAvg:
+		count, sumF, sumI, intOnly, seen := s.count, s.sum, s.sumInt, s.intOnly, s.seen
+		fold := func(v *value.Value) {
+			switch v.Kind {
+			case value.KindNull:
+				return
+			case value.KindFloat:
+				intOnly = false
+				sumF += v.F
+				sumI += int64(v.F)
+			case value.KindInt, value.KindDate, value.KindBool:
+				sumF += float64(v.I)
+				sumI += v.I
+			default:
+				// Strings fold as zero, matching Value.Float/Int.
+			}
+			count++
+			seen = true
+		}
+		if sel == nil {
+			for i := range vals {
+				fold(&vals[i])
+			}
+		} else {
+			for _, p := range sel {
+				fold(&vals[p])
+			}
+		}
+		s.count, s.sum, s.sumInt, s.intOnly, s.seen = count, sumF, sumI, intOnly, seen
+	case AggMin:
+		count, cur, seen := s.count, s.min, s.seen
+		fold := func(v value.Value) {
+			if v.Kind == value.KindNull {
+				return
+			}
+			count++
+			seen = true
+			if cur.Kind == value.KindNull {
+				cur = v
+				return
+			}
+			if v.Kind == cur.Kind {
+				switch v.Kind {
+				case value.KindInt, value.KindDate, value.KindBool:
+					if v.I < cur.I {
+						cur = v
+					}
+					return
+				case value.KindFloat:
+					if v.F < cur.F {
+						cur = v
+					}
+					return
+				case value.KindString:
+					if v.S < cur.S {
+						cur = v
+					}
+					return
+				}
+			}
+			if value.Compare(v, cur) < 0 {
+				cur = v
+			}
+		}
+		if sel == nil {
+			for i := range vals {
+				fold(vals[i])
+			}
+		} else {
+			for _, p := range sel {
+				fold(vals[p])
+			}
+		}
+		s.count, s.min, s.seen = count, cur, seen
+	case AggMax:
+		count, cur, seen := s.count, s.max, s.seen
+		fold := func(v value.Value) {
+			if v.Kind == value.KindNull {
+				return
+			}
+			count++
+			seen = true
+			if cur.Kind == value.KindNull {
+				cur = v
+				return
+			}
+			if v.Kind == cur.Kind {
+				switch v.Kind {
+				case value.KindInt, value.KindDate, value.KindBool:
+					if v.I > cur.I {
+						cur = v
+					}
+					return
+				case value.KindFloat:
+					if v.F > cur.F {
+						cur = v
+					}
+					return
+				case value.KindString:
+					if v.S > cur.S {
+						cur = v
+					}
+					return
+				}
+			}
+			if value.Compare(v, cur) > 0 {
+				cur = v
+			}
+		}
+		if sel == nil {
+			for i := range vals {
+				fold(vals[i])
+			}
+		} else {
+			for _, p := range sel {
+				fold(vals[p])
+			}
+		}
+		s.count, s.max, s.seen = count, cur, seen
+	default: // AggCount: count the non-NULLs
+		count, seen := s.count, s.seen
+		if sel == nil {
+			for i := range vals {
+				if vals[i].Kind != value.KindNull {
+					count++
+					seen = true
+				}
+			}
+		} else {
+			for _, p := range sel {
+				if vals[p].Kind != value.KindNull {
+					count++
+					seen = true
+				}
+			}
+		}
+		s.count, s.seen = count, seen
+	}
+}
+
 func accumulate(states []*aggState, aggs []AggSpec, row Row) error {
 	for i, a := range aggs {
 		var v value.Value
@@ -748,6 +936,18 @@ func (s *StreamAggregate) NextBatch() (*Batch, bool, error) {
 		argVecs, err := aggArgVectors(s.Aggs, b)
 		if err != nil {
 			return nil, false, err
+		}
+		if len(s.GroupBy) == 0 {
+			// Global aggregate: one group for the whole input, so the
+			// per-segment key machinery is pure overhead — fold each
+			// argument column in one pass.
+			if !s.started {
+				s.started = true
+				s.curKeys = nil
+				s.states = s.newStates()
+			}
+			foldGlobal(s.states, s.Aggs, b, argVecs)
+			continue
 		}
 		seg := newSegmentIter(b, s.GroupBy, argVecs)
 		n := b.NumRows()

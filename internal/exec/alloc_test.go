@@ -1,7 +1,12 @@
 package exec
 
 import (
+	"fmt"
 	"testing"
+
+	"oldelephant/internal/catalog"
+	"oldelephant/internal/storage"
+	"oldelephant/internal/value"
 )
 
 // TestProjectedScanFillZeroAllocsPerRow pins the steady-state allocation rate
@@ -43,6 +48,68 @@ func TestProjectedScanFillZeroAllocsPerRow(t *testing.T) {
 	perRow := perDrain / 1000
 	if perRow >= 0.05 {
 		t.Fatalf("warm projected scan allocates %.3f/row (%.0f per 1000-row drain), want ~0",
+			perRow, perDrain)
+	}
+}
+
+// TestProjectedStringScanFillZeroAllocsPerRow pins the steady-state
+// allocation rate of string column decode. Two string columns exercise both
+// fill paths: a low-distinct-count column that stays dictionary-encoded
+// (alloc-free probe lookups against the interned dictionary) and a
+// high-cardinality column that abandons the dictionary and decodes through
+// the batch arena (one sealed-string allocation per batch, ~0.001/row).
+// A regression to per-value string allocation adds ≥1000 allocations per
+// drain and busts the bound immediately.
+func TestProjectedStringScanFillZeroAllocsPerRow(t *testing.T) {
+	c := catalog.New(storage.NewPager(0), -1)
+	tbl, err := c.CreateTable("strings", []catalog.Column{
+		{Name: "k", Kind: value.KindInt},
+		{Name: "s_low", Kind: value.KindString},
+		{Name: "s_high", Kind: value.KindString},
+	}, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lows := []string{"AIR", "RAIL", "SHIP", "TRUCK"}
+	var rows [][]value.Value
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, []value.Value{
+			value.NewInt(int64(i)),
+			value.NewString(lows[i%len(lows)]),
+			value.NewString(fmt.Sprintf("note-%06d-%06d", i, i*7)),
+		})
+	}
+	if err := tbl.BulkLoad(rows); err != nil {
+		t.Fatal(err)
+	}
+	scan := NewSeqScan(tbl, []int{1, 2})
+	drainOnce := func() {
+		if err := scan.Open(); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			b, ok, err := scan.NextBatch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			n += b.NumRows()
+		}
+		if n != 1000 {
+			t.Fatalf("scan produced %d rows, want 1000", n)
+		}
+		if err := scan.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainOnce() // pay dictionary interning and arena growth once
+	perDrain := testing.AllocsPerRun(10, drainOnce)
+	perRow := perDrain / 1000
+	if perRow >= 0.05 {
+		t.Fatalf("warm projected string scan allocates %.3f/row (%.0f per 1000-row drain), want ~0",
 			perRow, perDrain)
 	}
 }

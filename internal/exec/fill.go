@@ -41,6 +41,103 @@ type colFiller struct {
 	recycle bool
 	bufs    [][]value.Value
 	rowBuf  []value.Value
+
+	// Raw-span staging for fillRows: one NextRawSpans call per batch instead
+	// of one NextRaw call per row. The spans alias page memory and are
+	// consumed before the batch is published.
+	keySpans [][]byte
+	paySpans [][]byte
+
+	// String decode state. Every declared-string output column starts in
+	// dictionary mode: values intern into a persistent per-column dictionary
+	// and the column fills a code buffer instead of a value buffer, so
+	// low-cardinality columns publish vector.Dict directly and downstream
+	// kernels ride the dictionary fast paths. A column whose distinct count
+	// crosses dictMaxDistinct abandons dictionary mode permanently (replaying
+	// the current batch's codes) and falls back to the shared byte arena:
+	// string contents stage into one recycled buffer, the hot loop appends
+	// only a packed 8-byte span per value (no Value write, no write
+	// barrier), and wrap pays the batch's single string allocation (Seal)
+	// before materializing the column in one pass. strOuts lists the string
+	// output columns so wrap touches no others.
+	arena   value.StringArena
+	strOuts []int
+	dicts   []*dictState
+	codes   [][]uint32
+	spans   [][]uint64
+	mixed   [][]value.Value
+	spanTmp [1][]byte
+}
+
+// dictMaxDistinct is the per-column distinct-value budget of dictionary-mode
+// string fill. Past it a dictionary stops paying for itself (the map grows,
+// codes stop compressing), so the column switches to arena decode for good.
+const dictMaxDistinct = 256
+
+// Sentinel span entries for arena-mode string columns. Real packed spans are
+// start<<32|len with start < 2^31, so bit 63 is never set by Stage.
+const (
+	spanNull  = uint64(1) << 63   // a NULL value
+	spanMixed = uint64(1)<<63 | 1 // the next value of the column's mixed side list
+)
+
+// dictProbeMax is the dictionary size up to which code lookup linearly probes
+// the raw key bytes instead of hashing into the interning map. The lowest-
+// cardinality columns (status flags, enums — exactly the columns dictionary
+// fill exists for) resolve in a handful of short memequals, cheaper than one
+// map hash per row.
+const dictProbeMax = 8
+
+// dictState is the persistent dictionary of one string output column: the
+// interning map and the dictionary values, shared (read-only up to the
+// published length) by every Dict vector the column has emitted. Interned
+// strings are deep copies, so they outlive pages, batches, and the filler.
+// keys runs parallel to vals, holding each string entry's bytes for the
+// linear-probe fast path; the NULL entry's key is nil (always non-nil for
+// strings — interning allocates through make — so the nil check cannot
+// mistake a real empty string for NULL).
+type dictState struct {
+	codeOf   map[string]uint32
+	keys     [][]byte
+	vals     []value.Value
+	nullCode int32 // code of the interned NULL entry, -1 until first NULL
+}
+
+// lookup returns the code of body's interned entry, probing linearly while
+// the dictionary is small and hashing once it is not.
+func (d *dictState) lookup(body []byte) (uint32, bool) {
+	if len(d.keys) <= dictProbeMax {
+		for c := range d.keys {
+			if d.keys[c] != nil && string(d.keys[c]) == string(body) { // alloc-free compare
+				return uint32(c), true
+			}
+		}
+		return 0, false
+	}
+	code, ok := d.codeOf[string(body)]
+	return code, ok
+}
+
+// intern adds body's string to the dictionary and returns its new code.
+func (d *dictState) intern(body []byte) uint32 {
+	k := make([]byte, len(body))
+	copy(k, body)
+	code := uint32(len(d.vals))
+	s := string(k)
+	d.vals = append(d.vals, value.NewString(s))
+	d.keys = append(d.keys, k)
+	d.codeOf[s] = code
+	return code
+}
+
+// internNull adds the NULL entry (once) and returns its code.
+func (d *dictState) internNull() uint32 {
+	if d.nullCode < 0 {
+		d.nullCode = int32(len(d.vals))
+		d.vals = append(d.vals, value.Null())
+		d.keys = append(d.keys, nil)
+	}
+	return uint32(d.nullCode)
 }
 
 // fillField maps one projected tuple position to its output column.
@@ -59,6 +156,16 @@ func newColFiller(kinds []value.Kind, positions []int, recycle bool) *colFiller 
 	}
 	for i, pos := range positions {
 		f.fields[i] = fillField{pos: pos, out: i}
+	}
+	f.dicts = make([]*dictState, len(kinds))
+	f.codes = make([][]uint32, len(kinds))
+	f.spans = make([][]uint64, len(kinds))
+	f.mixed = make([][]value.Value, len(kinds))
+	for i, k := range kinds {
+		if k == value.KindString {
+			f.strOuts = append(f.strOuts, i)
+			f.dicts[i] = &dictState{codeOf: make(map[string]uint32), nullCode: -1}
+		}
 	}
 	// Insertion sort by tuple position (column sets are small); secondary
 	// index entries can permute projected ordinals relative to storage order.
@@ -120,17 +227,35 @@ func (f *colFiller) resetBufs(capHint int) {
 		for i := range f.bufs {
 			f.bufs[i] = f.bufs[i][:0]
 		}
+		for i := range f.codes {
+			f.codes[i] = f.codes[i][:0]
+		}
 	} else {
 		f.bufs = make([][]value.Value, len(f.kinds))
 		for i := range f.bufs {
 			f.bufs[i] = make([]value.Value, 0, capHint)
 		}
+		for i := range f.codes {
+			if f.dicts[i] != nil {
+				f.codes[i] = make([]uint32, 0, capHint)
+			}
+		}
 	}
+	// The staging buffer, span lists, and mixed side lists are filler-private
+	// and never escape (Seal's string and the materialized values do), so
+	// they recycle even in morsel mode.
+	for _, out := range f.strOuts {
+		f.spans[out] = f.spans[out][:0]
+		f.mixed[out] = f.mixed[out][:0]
+	}
+	f.arena.Reset()
 }
 
 // decodeRow walks one encoded tuple, skipping the gaps between projected
 // fields and decoding each projected field directly into its column buffer
-// with a single parse. Fields past the tuple's end append NULL.
+// with a single parse. Fields past the tuple's end append NULL. String
+// columns route through fillString (dictionary or arena decode); everything
+// else decodes in place.
 func (f *colFiller) decodeRow(payload []byte) error {
 	var w value.TupleWalker
 	if err := w.Reset(payload); err != nil {
@@ -140,6 +265,26 @@ func (f *colFiller) decodeRow(payload []byte) error {
 	prev := 0
 	var v value.Value
 	for _, fd := range f.fields {
+		if f.kinds[fd.out] == value.KindString {
+			var body, sp []byte
+			var isStr bool
+			if fd.pos < n {
+				if fd.pos > prev {
+					if err := w.Skip(fd.pos - prev); err != nil {
+						return err
+					}
+				}
+				var err error
+				if body, isStr, sp, err = w.StringBody(); err != nil {
+					return err
+				}
+				prev = fd.pos + 1
+			}
+			if err := f.fillString(fd.out, body, isStr, sp); err != nil {
+				return err
+			}
+			continue
+		}
 		if fd.pos >= n {
 			f.bufs[fd.out] = append(f.bufs[fd.out], value.Value{})
 			continue
@@ -158,12 +303,105 @@ func (f *colFiller) decodeRow(payload []byte) error {
 	return nil
 }
 
+// fillString appends one string-column value from a walked field: body is the
+// string contents when isStr, sp the raw span otherwise (nil = NULL, for
+// past-end fields). Dictionary mode interns the contents and appends a code;
+// arena mode stages the contents and appends a placeholder the wrap resolves
+// after Seal. Non-string, non-NULL kinds abandon dictionary mode and decode
+// generically.
+func (f *colFiller) fillString(out int, body []byte, isStr bool, sp []byte) error {
+	if d := f.dicts[out]; d != nil {
+		switch {
+		case isStr:
+			code, ok := d.lookup(body)
+			if !ok {
+				if len(d.vals) >= dictMaxDistinct {
+					f.abandonDict(out)
+					break // fall through to the arena path
+				}
+				code = d.intern(body)
+			}
+			f.codes[out] = append(f.codes[out], code)
+			return nil
+		case len(sp) == 0 || value.Kind(sp[0]) == value.KindNull:
+			f.codes[out] = append(f.codes[out], d.internNull())
+			return nil
+		default:
+			// A non-string kind stored in a declared-string column: the
+			// interning map cannot key it, so the column leaves dictionary
+			// mode for good and decodes generically below.
+			f.abandonDict(out)
+		}
+	}
+	if isStr {
+		f.spans[out] = append(f.spans[out], f.arena.StagePacked(body))
+		return nil
+	}
+	if len(sp) == 0 {
+		f.spans[out] = append(f.spans[out], spanNull)
+		return nil
+	}
+	f.spanTmp[0] = sp
+	var err error
+	f.mixed[out], err = value.DecodeFieldSpans(f.mixed[out], f.spanTmp[:])
+	f.spans[out] = append(f.spans[out], spanMixed)
+	return err
+}
+
+// abandonDict permanently switches a string column out of dictionary mode,
+// replaying the current batch's codes as plain values into the column's
+// value buffer. Interned dictionary strings are deep copies, so sharing them
+// is safe. The replayed prefix stays in bufs; every later value of the batch
+// arrives through the span list, and wrap concatenates prefix then spans.
+func (f *colFiller) abandonDict(out int) {
+	d := f.dicts[out]
+	f.dicts[out] = nil
+	for _, c := range f.codes[out] {
+		f.bufs[out] = append(f.bufs[out], d.vals[c])
+	}
+	f.codes[out] = nil
+}
+
 // wrap publishes the filled column buffers as a batch and run-encodes the
-// marked columns.
+// marked columns. String columns still in dictionary mode publish Dict
+// vectors sharing the persistent dictionary; arena-staged columns pay the
+// batch's one string allocation (Seal) and materialize their packed span
+// lists into values in a single pass.
 func (f *colFiller) wrap(n int, encode []int) *Batch {
+	f.arena.Seal()
+	for _, out := range f.strOuts {
+		spans := f.spans[out]
+		if len(spans) == 0 {
+			continue
+		}
+		sealed := f.arena.Sealed()
+		vals := f.bufs[out] // abandonment-replay prefix, usually empty
+		mi := 0
+		for _, p := range spans {
+			switch {
+			case p < spanNull:
+				start := int(p >> 32)
+				vals = append(vals, value.Value{Kind: value.KindString, S: sealed[start : start+int(p&0xFFFFFFFF)]})
+			case p == spanNull:
+				vals = append(vals, value.Value{})
+			default:
+				vals = append(vals, f.mixed[out][mi])
+				mi++
+			}
+		}
+		f.bufs[out] = vals
+	}
 	b := &Batch{Cols: make([]*vector.Vector, len(f.bufs)), n: n}
 	for i := range f.bufs {
-		b.Cols[i] = vector.NewFlat(f.bufs[i])
+		// A dictionary-mode column filled codes for every row of this batch
+		// and nothing into its value buffer; any other shape (key recovery
+		// fills value buffers directly, abandonment mid-batch clears codes)
+		// publishes flat.
+		if d := f.dicts[i]; d != nil && len(f.codes[i]) == n && len(f.bufs[i]) == 0 {
+			b.Cols[i] = vector.NewDict(d.vals, f.codes[i])
+		} else {
+			b.Cols[i] = vector.NewFlat(f.bufs[i])
+		}
 	}
 	compressBatchCols(b, encode)
 	return b
@@ -173,33 +411,31 @@ func (f *colFiller) wrap(n int, encode []int) *Batch {
 // column-major batch. A nil batch means the iterator is exhausted.
 func (f *colFiller) fillRows(it *catalog.RowIterator, capHint int, encode []int) (*Batch, error) {
 	f.resetBufs(clampCap(capHint))
-	n := 0
+	if f.paySpans == nil {
+		f.paySpans = make([][]byte, DefaultBatchSize)
+	}
+	var n int
 	if f.keyDec != nil {
 		// Key-only projection: decode straight from the B+-tree key bytes.
+		if f.keySpans == nil {
+			f.keySpans = make([][]byte, DefaultBatchSize)
+		}
+		n = it.NextRawSpans(f.keySpans, f.paySpans)
 		row := f.rowBuf
-		for n < DefaultBatchSize {
-			key, _, ok := it.NextRaw()
-			if !ok {
-				break
-			}
+		for _, key := range f.keySpans[:n] {
 			if err := f.keyDec.Decode(key, row); err != nil {
 				return nil, err
 			}
 			for i, v := range row {
 				f.bufs[i] = append(f.bufs[i], v)
 			}
-			n++
 		}
 	} else {
-		for n < DefaultBatchSize {
-			_, payload, ok := it.NextRaw()
-			if !ok {
-				break
-			}
+		n = it.NextRawSpans(nil, f.paySpans)
+		for _, payload := range f.paySpans[:n] {
 			if err := f.decodeRow(payload); err != nil {
 				return nil, err
 			}
-			n++
 		}
 	}
 	if n == 0 {

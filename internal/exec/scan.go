@@ -89,7 +89,9 @@ func ascendingOrdinals(cols []int) bool {
 // correctness requirement.
 func compressBatchCols(b *Batch, cols []int) {
 	for _, c := range cols {
-		if c >= 0 && c < len(b.Cols) {
+		// Dictionary-encoded columns are already compressed; flattening them
+		// just to re-find runs would forfeit the encoding.
+		if c >= 0 && c < len(b.Cols) && b.Cols[c].Encoding() == vector.Flat {
 			b.Cols[c] = vector.Compress(b.Cols[c].Flat())
 		}
 	}

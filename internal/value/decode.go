@@ -24,8 +24,12 @@ type TupleWalker struct {
 
 // Reset points the walker at the tuple encoded in src and parses its header.
 func (w *TupleWalker) Reset(src []byte) error {
-	n, sz := binary.Uvarint(src)
-	if sz <= 0 {
+	var n uint64
+	var sz int
+	if len(src) > 0 && src[0] < 0x80 {
+		// Single-byte field count — every tuple under 128 columns.
+		n, sz = uint64(src[0]), 1
+	} else if n, sz = binary.Uvarint(src); sz <= 0 {
 		return fmt.Errorf("value: corrupt tuple header")
 	}
 	// Every field takes at least one byte, so a field count exceeding the
@@ -43,6 +47,29 @@ func (w *TupleWalker) NumFields() int { return w.n }
 // Bytes returns the number of bytes consumed so far (the full tuple length
 // once every field has been walked).
 func (w *TupleWalker) Bytes() int { return w.off }
+
+// stringSpanBody extracts the contents of an encoded string field body (the
+// bytes after the kind byte: uvarint length || contents), returning the
+// content bytes, the total body size consumed, and whether the body was well
+// formed. The bound check runs in uint64 because a corrupt length near 2^64
+// would overflow the off+int(length) form into a negative bound and a slice
+// panic — this is the single fuzz-hardened home of that check; every string
+// decode path (tuple decode, field decode, span decode, skip) goes through it.
+func stringSpanBody(b []byte) (body []byte, n int, ok bool) {
+	if len(b) > 0 && b[0] < 0x80 {
+		// Single-byte length — every string under 128 bytes.
+		length := int(b[0])
+		if len(b)-1 < length {
+			return nil, 0, false
+		}
+		return b[1 : 1+length], 1 + length, true
+	}
+	length, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < length {
+		return nil, 0, false
+	}
+	return b[sz : sz+int(length)], sz + int(length), true
+}
 
 // skipUvarint advances past one varint/uvarint starting at off, returning the
 // new offset or -1 on corrupt/truncated input.
@@ -87,15 +114,11 @@ func (w *TupleWalker) Skip(n int) error {
 				}
 			}
 		case KindString:
-			length, sz := binary.Uvarint(src[off:])
-			if sz <= 0 {
-				return fmt.Errorf("value: corrupt string length")
+			_, n, ok := stringSpanBody(src[off:])
+			if !ok {
+				return fmt.Errorf("value: corrupt string field")
 			}
-			off += sz
-			if uint64(len(src)-off) < length {
-				return fmt.Errorf("value: truncated string field")
-			}
-			off += int(length)
+			off += n
 		default:
 			return fmt.Errorf("value: unknown kind %d", kind)
 		}
@@ -128,28 +151,47 @@ func (w *TupleWalker) DecodeField(v *Value) error {
 		off += sz
 		*v = Value{Kind: kind, I: iv}
 	case KindFloat:
-		bits, sz := binary.Uvarint(src[off:])
+		fb, sz := binary.Uvarint(src[off:])
 		if sz <= 0 {
 			return fmt.Errorf("value: corrupt float field")
 		}
 		off += sz
-		*v = Value{Kind: KindFloat, F: math.Float64frombits(bits)}
+		*v = Value{Kind: KindFloat, F: floatFromTupleBits(fb)}
 	case KindString:
-		length, sz := binary.Uvarint(src[off:])
-		if sz <= 0 {
-			return fmt.Errorf("value: corrupt string length")
+		body, n, ok := stringSpanBody(src[off:])
+		if !ok {
+			return fmt.Errorf("value: corrupt string field")
 		}
-		off += sz
-		if uint64(len(src)-off) < length {
-			return fmt.Errorf("value: truncated string field")
-		}
-		*v = Value{Kind: KindString, S: string(src[off : off+int(length)])}
-		off += int(length)
+		*v = Value{Kind: KindString, S: string(body)}
+		off += n
 	default:
 		return fmt.Errorf("value: unknown kind %d", kind)
 	}
 	w.off = off
 	return nil
+}
+
+// StringBody decodes the next field in one parse when it is a string,
+// returning its content bytes (aliasing the tuple's backing buffer); for any
+// other kind it returns the raw field span instead. It is the string-column
+// fill primitive: the common case costs a single stringSpanBody parse where
+// FieldSpan + StringFieldBody would parse the length twice.
+func (w *TupleWalker) StringBody() (body []byte, isStr bool, sp []byte, err error) {
+	src := w.src
+	off := w.off
+	if off >= len(src) {
+		return nil, false, nil, fmt.Errorf("value: truncated tuple")
+	}
+	if Kind(src[off]) == KindString {
+		b, n, ok := stringSpanBody(src[off+1:])
+		if !ok {
+			return nil, false, nil, fmt.Errorf("value: corrupt string field")
+		}
+		w.off = off + 1 + n
+		return b, true, nil, nil
+	}
+	sp, err = w.FieldSpan()
+	return nil, false, sp, err
 }
 
 // FieldSpan returns the raw encoded bytes of the next field — kind byte plus
@@ -181,17 +223,17 @@ func decodeFieldSpan(sp []byte) (Value, error) {
 		}
 		return Value{Kind: kind, I: iv}, nil
 	case KindFloat:
-		bits, sz := binary.Uvarint(sp[1:])
+		fb, sz := binary.Uvarint(sp[1:])
 		if sz <= 0 {
 			return Null(), fmt.Errorf("value: corrupt float field")
 		}
-		return NewFloat(math.Float64frombits(bits)), nil
+		return NewFloat(floatFromTupleBits(fb)), nil
 	case KindString:
-		length, sz := binary.Uvarint(sp[1:])
-		if sz <= 0 || 1+sz+int(length) > len(sp) {
+		body, _, ok := stringSpanBody(sp[1:])
+		if !ok {
 			return Null(), fmt.Errorf("value: corrupt string field")
 		}
-		return NewString(string(sp[1+sz : 1+sz+int(length)])), nil
+		return NewString(string(body)), nil
 	default:
 		return Null(), fmt.Errorf("value: unknown kind %d", kind)
 	}
@@ -225,9 +267,9 @@ func DecodeInt64s(dst []Value, kind Kind, spans [][]byte) ([]Value, error) {
 func DecodeFloat64s(dst []Value, spans [][]byte) ([]Value, error) {
 	for _, sp := range spans {
 		if len(sp) > 1 && Kind(sp[0]) == KindFloat {
-			bits, sz := binary.Uvarint(sp[1:])
+			fb, sz := binary.Uvarint(sp[1:])
 			if sz > 0 {
-				dst = append(dst, Value{Kind: KindFloat, F: math.Float64frombits(bits)})
+				dst = append(dst, Value{Kind: KindFloat, F: floatFromTupleBits(fb)})
 				continue
 			}
 		}
@@ -246,9 +288,29 @@ func DecodeFloat64s(dst []Value, spans [][]byte) ([]Value, error) {
 func DecodeStrings(dst []Value, spans [][]byte) ([]Value, error) {
 	for _, sp := range spans {
 		if len(sp) > 1 && Kind(sp[0]) == KindString {
-			length, sz := binary.Uvarint(sp[1:])
-			if sz > 0 && 1+sz+int(length) <= len(sp) {
-				dst = append(dst, Value{Kind: KindString, S: string(sp[1+sz : 1+sz+int(length)])})
+			if body, _, ok := stringSpanBody(sp[1:]); ok {
+				dst = append(dst, Value{Kind: KindString, S: string(body)})
+				continue
+			}
+		}
+		v, err := decodeFieldSpan(sp)
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// DecodeStringsArena is DecodeStrings staging string contents into arena
+// instead of allocating one Go string per value: each produced string Value
+// is a placeholder the caller must resolve after arena.Seal() (see
+// StringArena). Non-string spans (NULLs, mixed kinds) decode as final values.
+func DecodeStringsArena(dst []Value, arena *StringArena, spans [][]byte) ([]Value, error) {
+	for _, sp := range spans {
+		if len(sp) > 1 && Kind(sp[0]) == KindString {
+			if body, _, ok := stringSpanBody(sp[1:]); ok {
+				dst = append(dst, arena.Stage(body))
 				continue
 			}
 		}
@@ -323,9 +385,10 @@ func sortKeyToFloat(w uint64) float64 {
 //
 // Recovery is exact only under the conditions the catalog's key-cleanliness
 // tracking enforces at insert time: the stored value's kind matched the
-// declared kind, integer-family values were within ±2^53 (the NumericSortKey
-// word is float64-based), and floats were not negative zero (normalized away
-// by the encoder). Strings and NULLs always recover exactly (the 0x00 escape
+// declared kind and floats were not negative zero (normalized away by the
+// encoder). Integer-family values recover exactly at any magnitude — within
+// ±2^53 from the float64 word, beyond it from the typed integer suffix the
+// encoder appends. Strings and NULLs always recover exactly (the 0x00 escape
 // scheme is reversible).
 func DecodeKeyValue(src []byte, kind Kind) (Value, int, error) {
 	if len(src) == 0 {
@@ -339,8 +402,22 @@ func DecodeKeyValue(src []byte, kind Kind) (Value, int, error) {
 			return Null(), 0, fmt.Errorf("value: truncated numeric key")
 		}
 		f := sortKeyToFloat(binary.BigEndian.Uint64(src[1:9]))
+		n := 9
+		var suffix int64
+		if keyNeedsIntSuffix(f) {
+			// The word alone no longer distinguishes adjacent integers; the
+			// exact value travels in the 8-byte suffix (see encodeKeyValue).
+			if len(src) < 17 {
+				return Null(), 0, fmt.Errorf("value: truncated numeric key suffix")
+			}
+			suffix = int64(binary.BigEndian.Uint64(src[9:17]) ^ (1 << 63))
+			n = 17
+		}
 		if kind == KindFloat {
-			return Value{Kind: KindFloat, F: f}, 9, nil
+			return Value{Kind: KindFloat, F: f}, n, nil
+		}
+		if n == 17 {
+			return Value{Kind: kind, I: suffix}, n, nil
 		}
 		if f != math.Trunc(f) || math.Abs(f) > 1<<53 {
 			return Null(), 0, fmt.Errorf("value: numeric key %v does not recover exactly as %v", f, kind)
@@ -386,6 +463,14 @@ func SkipKeyValue(src []byte) (int, error) {
 		if len(src) < 9 {
 			return 0, fmt.Errorf("value: truncated numeric key")
 		}
+		// The suffix condition depends only on the word, so the encoding
+		// stays self-describing: no flag byte, no kind needed to skip it.
+		if keyNeedsIntSuffix(sortKeyToFloat(binary.BigEndian.Uint64(src[1:9]))) {
+			if len(src) < 17 {
+				return 0, fmt.Errorf("value: truncated numeric key suffix")
+			}
+			return 17, nil
+		}
 		return 9, nil
 	case keyTagString:
 		for i := 1; i+1 < len(src); i++ {
@@ -421,7 +506,9 @@ func KeyValueRecoverable(v Value, k Kind) bool {
 		// -0.0 normalizes to +0.0 inside NumericSortKey.
 		return !(v.F == 0 && math.Signbit(v.F))
 	case KindInt, KindDate, KindBool:
-		return v.I <= 1<<53 && v.I >= -(1<<53)
+		// Exact at any magnitude: within ±2^53 the float64 word is the
+		// integer; beyond it the typed suffix carries the exact value.
+		return true
 	default:
 		return false
 	}

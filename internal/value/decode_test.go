@@ -141,6 +141,18 @@ func TestDecodeKeyValueRoundTrip(t *testing.T) {
 		{NewInt(-98765), KindInt},
 		{NewInt(1 << 53), KindInt},
 		{NewInt(-(1 << 53)), KindInt},
+		{NewInt(1<<53 + 1), KindInt},
+		{NewInt(-(1<<53 + 1)), KindInt},
+		{NewInt(1<<53 - 1), KindInt},
+		{NewInt(math.MaxInt64), KindInt},
+		{NewInt(math.MinInt64), KindInt},
+		{NewInt(math.MaxInt64 - 1), KindInt},
+		{NewInt(math.MinInt64 + 1), KindInt},
+		{NewFloat(1 << 53), KindFloat},
+		{NewFloat(-(1 << 53)), KindFloat},
+		{NewFloat(1e300), KindFloat},
+		{NewFloat(math.Inf(1)), KindFloat},
+		{NewFloat(math.Inf(-1)), KindFloat},
 		{NewDate(9125), KindDate},
 		{NewBool(true), KindBool},
 		{NewBool(false), KindBool},
@@ -198,8 +210,8 @@ func TestKeyValueUnrecoverable(t *testing.T) {
 		v Value
 		k Kind
 	}{
-		{NewInt(1<<53 + 1), KindInt},                // beyond float53 exactness
-		{NewInt(math.MaxInt64), KindInt},            // far beyond
+		// Integers beyond ±2^53 are recoverable since the typed suffix; only
+		// kind mismatches and negative zero remain unrecoverable.
 		{NewFloat(math.Copysign(0, -1)), KindFloat}, // -0.0 normalizes away
 		{NewFloat(1.5), KindInt},                    // kind mismatch
 		{NewString("x"), KindInt},                   // kind mismatch
@@ -210,6 +222,102 @@ func TestKeyValueUnrecoverable(t *testing.T) {
 			t.Fatalf("KeyValueRecoverable(%v, %v) = true, want false", c.v, c.k)
 		}
 	}
+}
+
+// keyRoundTripInt encodes v as an integer key column and checks the byte
+// width, skip width, and exact recovery.
+func keyRoundTripInt(t *testing.T, v int64) []byte {
+	t.Helper()
+	enc := AppendKeyValue(nil, NewInt(v))
+	wantLen := 9
+	if v >= 1<<53 || v <= -(1<<53) {
+		wantLen = 17 // word + typed integer suffix
+	}
+	if len(enc) != wantLen {
+		t.Fatalf("int key %d encodes to %d bytes, want %d", v, len(enc), wantLen)
+	}
+	got, n, err := DecodeKeyValue(enc, KindInt)
+	if err != nil || n != len(enc) || got.I != v || got.Kind != KindInt {
+		t.Fatalf("int key %d round-trips to %v (n=%d, err=%v)", v, got, n, err)
+	}
+	if skip, err := SkipKeyValue(enc); err != nil || skip != len(enc) {
+		t.Fatalf("SkipKeyValue(int %d) = %d, %v; want %d", v, skip, err, len(enc))
+	}
+	return enc
+}
+
+// TestIntKeyOrderBoundaries pins the typed integer key encoding at the exact
+// suffix thresholds (±2^53, where adjacent integers start sharing a float64
+// word) and the int64 extremes (±2^63): every value round-trips exactly and
+// bytes.Compare of the encodings agrees with exact integer comparison —
+// including the adjacent pairs that collapsed onto one word before the
+// suffix existed.
+func TestIntKeyOrderBoundaries(t *testing.T) {
+	vals := []int64{
+		math.MinInt64, math.MinInt64 + 1,
+		-(1 << 53) - 2, -(1 << 53) - 1, -(1 << 53), -(1 << 53) + 1,
+		-2, -1, 0, 1, 2,
+		1<<53 - 1, 1 << 53, 1<<53 + 1, 1<<53 + 2, 1<<53 + 3,
+		math.MaxInt64 - 1, math.MaxInt64,
+	}
+	encs := make([][]byte, len(vals))
+	for i, v := range vals {
+		encs[i] = keyRoundTripInt(t, v)
+	}
+	for i := range vals {
+		for j := range vals {
+			want := 0
+			if vals[i] < vals[j] {
+				want = -1
+			} else if vals[i] > vals[j] {
+				want = 1
+			}
+			if got := bytes.Compare(encs[i], encs[j]); got != want {
+				t.Fatalf("bytes.Compare(key(%d), key(%d)) = %d, want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+}
+
+// FuzzIntKeyOrder checks the typed integer key encoding across random int64
+// pairs: both values round-trip exactly through DecodeKeyValue, SkipKeyValue
+// agrees with the encoded width, and bytes.Compare of the encodings has the
+// sign of exact integer comparison. Mixed int/float pairs additionally pin
+// that the encodings never misorder a Compare-unequal pair (Compare-equal
+// cross-kind pairs beyond 2^53 may encode unequal: the suffix keeps the exact
+// integer, which float comparison discards).
+func FuzzIntKeyOrder(f *testing.F) {
+	f.Add(int64(0), int64(1))
+	f.Add(int64(1<<53), int64(1<<53+1))
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64))
+	f.Add(int64(-(1<<53))-1, int64(-(1 << 53)))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		ea := keyRoundTripInt(t, a)
+		eb := keyRoundTripInt(t, b)
+		want := 0
+		if a < b {
+			want = -1
+		} else if a > b {
+			want = 1
+		}
+		if got := bytes.Compare(ea, eb); got != want {
+			t.Fatalf("bytes.Compare(key(%d), key(%d)) = %d, want %d", a, b, got, want)
+		}
+		// Mixed kinds: an int key against the float nearest b must never
+		// order against the sign of value.Compare when Compare is decisive.
+		fb := NewFloat(float64(b))
+		efb := AppendKeyValue(nil, fb)
+		if cmp := Compare(NewInt(a), fb); cmp != 0 {
+			got := bytes.Compare(ea, efb)
+			if (got < 0) != (cmp < 0) || (got > 0) != (cmp > 0) {
+				t.Fatalf("bytes.Compare(key(int %d), key(float %g)) = %d, Compare = %d", a, float64(b), got, cmp)
+			}
+		}
+		gotF, n, err := DecodeKeyValue(efb, KindFloat)
+		if err != nil || n != len(efb) || math.Float64bits(gotF.F) != math.Float64bits(fb.F) {
+			t.Fatalf("float key %g round-trips to %v (n=%d, err=%v)", fb.F, gotF, n, err)
+		}
+	})
 }
 
 func TestDecodeCorruptNeverSucceedsSilently(t *testing.T) {
