@@ -36,6 +36,7 @@ func main() {
 	log.SetPrefix("elephantd: ")
 	var (
 		addr    = flag.String("addr", ":7654", "TCP listen address")
+		dataDir = flag.String("data", "", "durable data directory (empty = in-memory); created if missing, recovered if it holds a previous run")
 		sf      = flag.Float64("tpch", 0, "pre-load TPC-H core tables at this scale factor (0 = start empty)")
 		cores   = flag.Int("cores", 0, "core budget shared by concurrent queries (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 0, "admission queue bound (0 = default 64)")
@@ -45,7 +46,13 @@ func main() {
 	)
 	flag.Parse()
 
-	eng := engine.Default()
+	eng, err := engine.Open(engine.Options{TupleOverhead: -1, DataDir: *dataDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		log.Printf("durable data directory %s (recovered %d tables)", *dataDir, len(eng.Catalog().Tables()))
+	}
 	if *sf > 0 {
 		log.Printf("loading TPC-H at sf=%g...", *sf)
 		if err := tpch.NewGenerator(*sf).LoadCore(eng); err != nil {
@@ -76,6 +83,12 @@ func main() {
 
 	if err := srv.Serve(l); err != nil {
 		log.Fatal(err)
+	}
+	// Final checkpoint: flush dirty pages, write the meta snapshot, truncate
+	// the WAL. A kill -9 instead of a clean shutdown would recover the same
+	// state from the log.
+	if err := eng.Close(); err != nil {
+		log.Printf("close: %v", err)
 	}
 	printSnapshot(srv.Metrics())
 }

@@ -60,6 +60,12 @@ type Options struct {
 	// byte. See the README's "Parallel execution" section for the morsel
 	// model and its determinism guarantees.
 	Parallelism int
+	// DataDir roots a durable database: pages live in a checksummed data
+	// file, every statement commits through a write-ahead log with group
+	// commit, and reopening the directory recovers to the last acknowledged
+	// statement (see the README's "Durability" section). Empty keeps the
+	// database in memory. Open ignores this field — use OpenDir.
+	DataDir string
 }
 
 // Open creates an empty database.
@@ -77,6 +83,34 @@ func Open(opts Options) *DB {
 	})
 	return &DB{Engine: e, views: matview.NewManager(e)}
 }
+
+// OpenDir creates or reopens a durable database rooted at dir (overriding
+// opts.DataDir). Opening replays the write-ahead log, verifies page
+// checksums and discards any torn tail, so a database that crashed at an
+// arbitrary point recovers every acknowledged statement and nothing partial.
+// Call Close to checkpoint and release the files.
+func OpenDir(dir string, opts Options) (*DB, error) {
+	if opts.TupleOverhead == 0 {
+		opts.TupleOverhead = -1 // engine default
+	}
+	e, err := engine.Open(engine.Options{
+		TupleOverhead:     opts.TupleOverhead,
+		BufferPoolPages:   opts.BufferPoolPages,
+		Vectorized:        opts.Vectorized,
+		DisableVectorized: opts.DisableVectorized,
+		DisableCompressed: opts.DisableCompressed,
+		Parallelism:       opts.Parallelism,
+		DataDir:           dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{Engine: e, views: matview.NewManager(e)}, nil
+}
+
+// Close checkpoints a durable database and releases its files; it is a
+// no-op for in-memory instances. The DB must not be used afterwards.
+func (db *DB) Close() error { return db.Engine.Close() }
 
 // Result is the outcome of a query: column labels, rows, the chosen physical
 // plan and execution statistics (wall time, page I/O).

@@ -78,6 +78,19 @@ func New(pager *storage.Pager, overhead int) *BTree {
 	return t
 }
 
+// Open reattaches a tree to its pages (recovery path: root, height and count
+// come from the persisted catalog meta; the pages themselves were restored by
+// the data file load + WAL replay).
+func Open(pager *storage.Pager, root storage.PageID, height int, count int64, overhead int) *BTree {
+	if overhead < 0 {
+		overhead = storage.DefaultTupleOverhead
+	}
+	return &BTree{
+		pager: pager, root: root, height: height, count: count,
+		overhead: overhead, parsed: make(map[storage.PageID]*parsedLeaf),
+	}
+}
+
 // Count returns the number of entries in the tree.
 func (t *BTree) Count() int64 { return t.count }
 
@@ -91,13 +104,56 @@ func (t *BTree) RootPage() storage.PageID { return t.root }
 // statistics and tests; it performs I/O. The walk reads only each leaf's Aux
 // word (the next-leaf pointer) — no record parsing.
 func (t *BTree) NumLeafPages() int {
-	id := t.firstLeaf()
+	id, err := t.firstLeaf()
 	n := 0
-	for id != storage.InvalidPageID {
+	for err == nil && id != storage.InvalidPageID {
 		n++
-		id = storage.PageID(t.pager.Get(id).Aux())
+		var pg *storage.Page
+		if pg, err = t.pager.Get(id); err == nil {
+			id = storage.PageID(pg.Aux())
+		}
 	}
 	return n
+}
+
+// AllPages returns every page id the tree occupies (internal nodes and
+// leaves), so DROP TABLE can hand them to the pager's freelist.
+func (t *BTree) AllPages() ([]storage.PageID, error) {
+	var out []storage.PageID
+	var walk func(id storage.PageID) error
+	walk = func(id storage.PageID) error {
+		out = append(out, id)
+		pg, err := t.pager.Get(id)
+		if err != nil {
+			return err
+		}
+		n := pg.NumSlots()
+		if n == 0 {
+			return nil
+		}
+		first := pg.Record(0)
+		if first == nil || first[0] == recLeaf {
+			return nil
+		}
+		if err := walk(storage.PageID(pg.Aux())); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			rec := pg.Record(i)
+			if rec == nil {
+				continue
+			}
+			_, val := recordKeyVal(rec)
+			if err := walk(childID(val)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Node layout. The page Aux word stores, for leaves, the next-leaf page id;
@@ -195,13 +251,16 @@ func (t *BTree) invalidateCaches() {
 // unless the cache is full, in which case it is parsed into scratch
 // (shared=false) and the caller keeps ownership. Shared results are read-only
 // and must never be written through.
-func (t *BTree) loadLeaf(id storage.PageID, scratch []entry) (entries []entry, next uint64, shared bool) {
-	pg := t.pager.Get(id)
+func (t *BTree) loadLeaf(id storage.PageID, scratch []entry) (entries []entry, next uint64, shared bool, err error) {
+	pg, err := t.pager.Get(id)
+	if err != nil {
+		return nil, 0, false, err
+	}
 	t.parsedMu.RLock()
 	pl, ok := t.parsed[id]
 	t.parsedMu.RUnlock()
 	if ok {
-		return pl.entries, pl.next, true
+		return pl.entries, pl.next, true, nil
 	}
 	full := false
 	t.parsedMu.RLock()
@@ -209,7 +268,7 @@ func (t *BTree) loadLeaf(id storage.PageID, scratch []entry) (entries []entry, n
 	t.parsedMu.RUnlock()
 	if full {
 		_, entries, next = readNodeInto(pg, scratch)
-		return entries, next, false
+		return entries, next, false, nil
 	}
 	_, owned, extra := readNode(pg)
 	pl = &parsedLeaf{entries: owned, next: extra}
@@ -222,7 +281,7 @@ func (t *BTree) loadLeaf(id storage.PageID, scratch []entry) (entries []entry, n
 		t.parsed[id] = pl
 	}
 	t.parsedMu.Unlock()
-	return pl.entries, pl.next, true
+	return pl.entries, pl.next, true, nil
 }
 
 // entrySize returns the on-page footprint of an entry, including the leaf
@@ -291,7 +350,10 @@ func childID(val []byte) storage.PageID {
 // insertInto inserts into the subtree rooted at id. If the node splits it
 // returns the separator key and the new right sibling's page id.
 func (t *BTree) insertInto(id storage.PageID, key, val []byte) ([]byte, storage.PageID, error) {
-	pg := t.pager.Get(id)
+	pg, err := t.pager.Get(id)
+	if err != nil {
+		return nil, storage.InvalidPageID, err
+	}
 	isLeaf, entries, extra := readNode(pg)
 	if isLeaf {
 		pos := upperBound(entries, key)
@@ -299,8 +361,8 @@ func (t *BTree) insertInto(id storage.PageID, key, val []byte) ([]byte, storage.
 		copy(entries[pos+1:], entries[pos:])
 		entries[pos] = entry{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
 		if t.nodeFits(entries, true) {
+			t.pager.BeforeWrite(id)
 			writeNode(pg, true, entries, extra)
-			t.pager.MarkDirty(id)
 			return nil, storage.InvalidPageID, nil
 		}
 		// Split the leaf. The separator must be copied before the left page is
@@ -309,8 +371,8 @@ func (t *BTree) insertInto(id storage.PageID, key, val []byte) ([]byte, storage.
 		sep := append([]byte(nil), entries[mid].key...)
 		right := t.pager.Allocate()
 		writeNode(right, true, entries[mid:], extra) // right inherits next pointer
+		t.pager.BeforeWrite(id)
 		writeNode(pg, true, entries[:mid], uint64(right.ID()))
-		t.pager.MarkDirty(id)
 		return sep, right.ID(), nil
 	}
 	// Internal node: find child covering key.
@@ -339,8 +401,8 @@ func (t *BTree) insertInto(id storage.PageID, key, val []byte) ([]byte, storage.
 	copy(entries[pos+1:], entries[pos:])
 	entries[pos] = ins
 	if t.nodeFits(entries, false) {
+		t.pager.BeforeWrite(id)
 		writeNode(pg, false, entries, extra)
-		t.pager.MarkDirty(id)
 		return nil, storage.InvalidPageID, nil
 	}
 	// Split the internal node: middle key moves up.
@@ -348,8 +410,8 @@ func (t *BTree) insertInto(id storage.PageID, key, val []byte) ([]byte, storage.
 	sep := append([]byte(nil), entries[mid].key...)
 	right := t.pager.Allocate()
 	writeNode(right, false, entries[mid+1:], uint64(childID(entries[mid].val)))
+	t.pager.BeforeWrite(id)
 	writeNode(pg, false, entries[:mid], extra)
-	t.pager.MarkDirty(id)
 	return sep, right.ID(), nil
 }
 
@@ -386,28 +448,34 @@ func lowerBound(entries []entry, key []byte) int {
 // prefix (payload may be nil to match any). It returns true if an entry was
 // removed. Nodes are not rebalanced: the workload is read-mostly and
 // underfull nodes only waste space, never correctness.
-func (t *BTree) Delete(key []byte) bool {
+func (t *BTree) Delete(key []byte) (bool, error) {
 	t.invalidateCaches()
-	id := t.leafFor(key)
+	id, err := t.leafFor(key)
+	if err != nil {
+		return false, err
+	}
 	for id != storage.InvalidPageID {
-		pg := t.pager.Get(id)
+		pg, err := t.pager.Get(id)
+		if err != nil {
+			return false, err
+		}
 		_, entries, extra := readNode(pg)
 		for i := range entries {
 			cmp := bytes.Compare(entries[i].key, key)
 			if cmp > 0 {
-				return false
+				return false, nil
 			}
 			if cmp == 0 {
 				entries = append(entries[:i], entries[i+1:]...)
+				t.pager.BeforeWrite(id)
 				writeNode(pg, true, entries, extra)
-				t.pager.MarkDirty(id)
 				t.count--
-				return true
+				return true, nil
 			}
 		}
 		id = storage.PageID(extra)
 	}
-	return false
+	return false, nil
 }
 
 // recordKeyVal splits one node record into its key and payload without
@@ -425,17 +493,20 @@ func recordKeyVal(rec []byte) (key, val []byte) {
 // — O(log fanout) record parses per level instead of materializing every
 // entry, which is what keeps a point seek's descent cheap enough for the
 // serving layer's prepared-statement hot path.
-func (t *BTree) leafFor(key []byte) storage.PageID {
+func (t *BTree) leafFor(key []byte) (storage.PageID, error) {
 	id := t.root
 	for {
-		pg := t.pager.Get(id)
+		pg, err := t.pager.Get(id)
+		if err != nil {
+			return storage.InvalidPageID, err
+		}
 		n := pg.NumSlots()
 		if n == 0 {
-			return id // only an empty root leaf has no records
+			return id, nil // only an empty root leaf has no records
 		}
 		first := pg.Record(0)
 		if first == nil || first[0] == recLeaf {
-			return id
+			return id, nil
 		}
 		// Find the number of separators strictly below key; the child left
 		// of that position covers the key.
@@ -460,16 +531,19 @@ func (t *BTree) leafFor(key []byte) storage.PageID {
 
 // firstLeaf returns the leftmost leaf page. The descent inspects only each
 // node's first record marker and Aux word (the leftmost child) — no parsing.
-func (t *BTree) firstLeaf() storage.PageID {
+func (t *BTree) firstLeaf() (storage.PageID, error) {
 	id := t.root
 	for {
-		pg := t.pager.Get(id)
+		pg, err := t.pager.Get(id)
+		if err != nil {
+			return storage.InvalidPageID, err
+		}
 		if pg.NumSlots() == 0 {
-			return id // only an empty root leaf has no records
+			return id, nil // only an empty root leaf has no records
 		}
 		first := pg.Record(0)
 		if first == nil || first[0] == recLeaf {
-			return id
+			return id, nil
 		}
 		id = storage.PageID(pg.Aux())
 	}
@@ -494,7 +568,13 @@ type Iterator struct {
 	// and parsing the next (uncached) leaf into it would overwrite memory
 	// other iterators are reading.
 	scratch []entry
+	err     error
 }
+
+// Err returns the first page-access error the iterator hit. Next reports
+// exhaustion on error, so callers that see false must check Err to
+// distinguish end-of-range from a failed page read.
+func (it *Iterator) Err() error { return it.err }
 
 // Key returns the current entry's key. Valid only after Next reported true.
 // The slice aliases page memory, which stays resident and unmodified for as
@@ -535,7 +615,12 @@ func (it *Iterator) Next() bool {
 		// Cached leaves hand back a shared read-only parse; misses reuse the
 		// iterator's scratch buffer (Key()/Value() spans alias page memory,
 		// not the entry slice, so recycling scratch is invisible to callers).
-		entries, extra, shared := it.tree.loadLeaf(it.leaf, it.scratch)
+		entries, extra, shared, err := it.tree.loadLeaf(it.leaf, it.scratch)
+		if err != nil {
+			it.err = err
+			it.done = true
+			return false
+		}
 		if !shared {
 			it.scratch = entries
 		}
@@ -615,7 +700,12 @@ func (it *Iterator) advanceLeaf() bool {
 		if it.leavesLeft > 0 {
 			it.leavesLeft--
 		}
-		entries, extra, shared := it.tree.loadLeaf(it.leaf, it.scratch)
+		entries, extra, shared, err := it.tree.loadLeaf(it.leaf, it.scratch)
+		if err != nil {
+			it.err = err
+			it.done = true
+			return false
+		}
 		if !shared {
 			it.scratch = entries
 		}
@@ -631,7 +721,11 @@ func (it *Iterator) advanceLeaf() bool {
 
 // Scan returns an iterator over the whole tree in key order.
 func (t *BTree) Scan() *Iterator {
-	return &Iterator{tree: t, leaf: t.firstLeaf(), leavesLeft: -1}
+	first, err := t.firstLeaf()
+	if err != nil {
+		return &Iterator{tree: t, done: true, err: err}
+	}
+	return &Iterator{tree: t, leaf: first, leavesLeft: -1}
 }
 
 // LeafPages returns the ids of every leaf page in chain (key) order. It is
@@ -639,17 +733,25 @@ func (t *BTree) Scan() *Iterator {
 // consecutive leaves handed to ScanLeaves. The chain walk is memoized until
 // the next structural mutation, so repeated queries do not re-pay it.
 // Callers must treat the result as read-only.
-func (t *BTree) LeafPages() []storage.PageID {
+func (t *BTree) LeafPages() ([]storage.PageID, error) {
 	if cached := t.leafCache.Load(); cached != nil {
-		return *cached
+		return *cached, nil
 	}
 	var out []storage.PageID
-	for id := t.firstLeaf(); id != storage.InvalidPageID; {
+	id, err := t.firstLeaf()
+	if err != nil {
+		return nil, err
+	}
+	for id != storage.InvalidPageID {
 		out = append(out, id)
-		id = storage.PageID(t.pager.Get(id).Aux())
+		pg, err := t.pager.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		id = storage.PageID(pg.Aux())
 	}
 	t.leafCache.Store(&out)
-	return out
+	return out, nil
 }
 
 // LeafRange returns the ids of the consecutive leaf pages that can contain
@@ -659,14 +761,23 @@ func (t *BTree) LeafPages() []storage.PageID {
 // run of consecutive leaves handed to SeekLeaves. nil bounds are open (nil
 // start begins at the first leaf; nil stop ends at the last). The walk reads
 // only the leaves of the range, plus one root-to-leaf descent.
-func (t *BTree) LeafRange(start, stop []byte, stopIncl bool) []storage.PageID {
+func (t *BTree) LeafRange(start, stop []byte, stopIncl bool) ([]storage.PageID, error) {
 	var out []storage.PageID
-	id := t.firstLeaf()
+	var id storage.PageID
+	var err error
 	if start != nil {
-		id = t.leafFor(start)
+		id, err = t.leafFor(start)
+	} else {
+		id, err = t.firstLeaf()
+	}
+	if err != nil {
+		return nil, err
 	}
 	for id != storage.InvalidPageID {
-		pg := t.pager.Get(id)
+		pg, err := t.pager.Get(id)
+		if err != nil {
+			return nil, err
+		}
 		// Only the first record's key decides the stop bound; the leaf is not
 		// parsed. A missing first record skips the check (the extra leaf is
 		// harmless: iterators enforce the stop key themselves).
@@ -682,7 +793,7 @@ func (t *BTree) LeafRange(start, stop []byte, stopIncl bool) []storage.PageID {
 		out = append(out, id)
 		id = storage.PageID(pg.Aux())
 	}
-	return out
+	return out, nil
 }
 
 // SeekLeaves returns an iterator over the entries of count consecutive leaf
@@ -696,7 +807,10 @@ func (t *BTree) LeafRange(start, stop []byte, stopIncl bool) []storage.PageID {
 func (t *BTree) SeekLeaves(start storage.PageID, count int, startKey, stop []byte, stopIncl bool) *Iterator {
 	it := &Iterator{tree: t, stopKey: stop, stopIncl: stopIncl, leaf: start, leavesLeft: count}
 	if startKey != nil && count > 0 {
-		entries, extra, shared := t.loadLeaf(start, nil)
+		entries, extra, shared, err := t.loadLeaf(start, nil)
+		if err != nil {
+			return &Iterator{tree: t, done: true, err: err}
+		}
 		if !shared {
 			it.scratch = entries
 		}
@@ -720,11 +834,21 @@ func (t *BTree) ScanLeaves(start storage.PageID, count int) *Iterator {
 func (t *BTree) Seek(start, stop []byte, stopIncl bool) *Iterator {
 	it := &Iterator{tree: t, stopKey: stop, stopIncl: stopIncl, leavesLeft: -1}
 	if start == nil {
-		it.leaf = t.firstLeaf()
+		first, err := t.firstLeaf()
+		if err != nil {
+			return &Iterator{tree: t, done: true, err: err}
+		}
+		it.leaf = first
 		return it
 	}
-	leafID := t.leafFor(start)
-	entries, extra, shared := t.loadLeaf(leafID, nil)
+	leafID, err := t.leafFor(start)
+	if err != nil {
+		return &Iterator{tree: t, done: true, err: err}
+	}
+	entries, extra, shared, err := t.loadLeaf(leafID, nil)
+	if err != nil {
+		return &Iterator{tree: t, done: true, err: err}
+	}
 	if !shared {
 		it.scratch = entries
 	}
@@ -735,12 +859,12 @@ func (t *BTree) Seek(start, stop []byte, stopIncl bool) *Iterator {
 }
 
 // Get returns the payload of the first entry matching key exactly.
-func (t *BTree) Get(key []byte) ([]byte, bool) {
+func (t *BTree) Get(key []byte) ([]byte, bool, error) {
 	it := t.Seek(key, key, true)
 	if it.Next() {
-		return it.Value(), true
+		return it.Value(), true, nil
 	}
-	return nil, false
+	return nil, false, it.Err()
 }
 
 // BulkLoad builds the tree from entries that are already sorted by key,
@@ -762,11 +886,16 @@ func (t *BTree) BulkLoad(next func() (key, val []byte, ok bool), fillFactor floa
 		prevKey   []byte
 		n         int64
 	)
-	flushLeaf := func() {
+	flushLeaf := func() error {
 		pg := t.pager.Allocate()
 		writeNode(pg, true, cur, 0)
 		if len(leafIDs) > 0 {
-			prev := t.pager.Get(leafIDs[len(leafIDs)-1])
+			prevID := leafIDs[len(leafIDs)-1]
+			prev, err := t.pager.Get(prevID)
+			if err != nil {
+				return err
+			}
+			t.pager.BeforeWrite(prevID)
 			prev.SetAux(uint64(pg.ID()))
 		}
 		leafIDs = append(leafIDs, pg.ID())
@@ -777,6 +906,7 @@ func (t *BTree) BulkLoad(next func() (key, val []byte, ok bool), fillFactor floa
 		}
 		cur = nil
 		curSize = 0
+		return nil
 	}
 	for {
 		key, val, ok := next()
@@ -790,13 +920,17 @@ func (t *BTree) BulkLoad(next func() (key, val []byte, ok bool), fillFactor floa
 		e := entry{key: append([]byte(nil), key...), val: append([]byte(nil), val...)}
 		sz := t.entrySize(e, true)
 		if curSize+sz > target && len(cur) > 0 {
-			flushLeaf()
+			if err := flushLeaf(); err != nil {
+				return err
+			}
 		}
 		cur = append(cur, e)
 		curSize += sz
 		n++
 	}
-	flushLeaf()
+	if err := flushLeaf(); err != nil {
+		return err
+	}
 	t.count = n
 	// Build internal levels.
 	level := leafIDs

@@ -15,12 +15,32 @@ func intKey(i int64) []byte {
 	return value.EncodeKey(nil, []value.Value{value.NewInt(i)})
 }
 
+// mustGet / mustDelete unwrap the page-I/O error returns: in these in-memory
+// tests a page error is a harness bug, not a condition under test.
+func mustGet(t *testing.T, tr *BTree, key []byte) ([]byte, bool) {
+	t.Helper()
+	v, ok, err := tr.Get(key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	return v, ok
+}
+
+func mustDelete(t *testing.T, tr *BTree, key []byte) bool {
+	t.Helper()
+	ok, err := tr.Delete(key)
+	if err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	return ok
+}
+
 func TestEmptyTree(t *testing.T) {
 	tr := New(storage.NewPager(0), 0)
 	if tr.Count() != 0 || tr.Height() != 1 {
 		t.Fatalf("empty tree count=%d height=%d", tr.Count(), tr.Height())
 	}
-	if _, ok := tr.Get(intKey(1)); ok {
+	if _, ok := mustGet(t, tr, intKey(1)); ok {
 		t.Error("Get on empty tree should miss")
 	}
 	it := tr.Scan()
@@ -44,12 +64,12 @@ func TestInsertAndGetSequential(t *testing.T) {
 		t.Fatalf("expected multi-level tree, height=%d", tr.Height())
 	}
 	for _, i := range []int64{0, 1, 777, n / 2, n - 1} {
-		v, ok := tr.Get(intKey(i))
+		v, ok := mustGet(t, tr, intKey(i))
 		if !ok || string(v) != fmt.Sprintf("v%d", i) {
 			t.Errorf("Get(%d) = %q, %v", i, v, ok)
 		}
 	}
-	if _, ok := tr.Get(intKey(n + 10)); ok {
+	if _, ok := mustGet(t, tr, intKey(n+10)); ok {
 		t.Error("Get of missing key should fail")
 	}
 }
@@ -185,22 +205,22 @@ func TestDelete(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if !tr.Delete(intKey(250)) {
+	if !mustDelete(t, tr, intKey(250)) {
 		t.Fatal("delete of existing key failed")
 	}
-	if tr.Delete(intKey(250)) {
+	if mustDelete(t, tr, intKey(250)) {
 		t.Error("second delete should report not found")
 	}
-	if tr.Delete(intKey(10000)) {
+	if mustDelete(t, tr, intKey(10000)) {
 		t.Error("delete of missing key should report not found")
 	}
 	if tr.Count() != 499 {
 		t.Errorf("Count after delete = %d", tr.Count())
 	}
-	if _, ok := tr.Get(intKey(250)); ok {
+	if _, ok := mustGet(t, tr, intKey(250)); ok {
 		t.Error("deleted key still visible")
 	}
-	if _, ok := tr.Get(intKey(251)); !ok {
+	if _, ok := mustGet(t, tr, intKey(251)); !ok {
 		t.Error("neighbour key lost")
 	}
 }
@@ -230,7 +250,7 @@ func TestBulkLoadMatchesInserts(t *testing.T) {
 	}
 	// Point lookups and ordered scan.
 	for _, k := range []int64{0, 1, 12345, n - 1} {
-		v, ok := tr.Get(intKey(k))
+		v, ok := mustGet(t, tr, intKey(k))
 		if !ok || string(v) != fmt.Sprintf("bulk%d", k) {
 			t.Errorf("Get(%d) after bulk load = %q %v", k, v, ok)
 		}
@@ -252,7 +272,7 @@ func TestBulkLoadMatchesInserts(t *testing.T) {
 	if err := tr.Insert(intKey(-5), []byte("neg")); err != nil {
 		t.Fatal(err)
 	}
-	v, ok := tr.Get(intKey(-5))
+	v, ok := mustGet(t, tr, intKey(-5))
 	if !ok || string(v) != "neg" {
 		t.Error("insert after bulk load failed")
 	}
@@ -373,7 +393,7 @@ func TestPropertyRandomOperations(t *testing.T) {
 				continue
 			}
 			k := keys[rng.Intn(len(keys))]
-			got := tr.Delete(intKey(k))
+			got := mustDelete(t, tr, intKey(k))
 			want := model[k] > 0
 			if got != want {
 				t.Fatalf("delete(%d) = %v, model says %v", k, got, want)
@@ -447,7 +467,7 @@ func TestParsedLeafCacheInvalidation(t *testing.T) {
 	}
 
 	// Delete: a stale parse would resurrect the entry.
-	if !tr.Delete(intKey(4001)) {
+	if !mustDelete(t, tr, intKey(4001)) {
 		t.Fatal("delete missed")
 	}
 	if got := collectScan(tr); len(got) != n {

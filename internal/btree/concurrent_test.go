@@ -29,7 +29,11 @@ func TestConcurrentLeafPagesAndScans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantLeaves := len(tree.LeafPages())
+	allLeaves, err := tree.LeafPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLeaves := len(allLeaves)
 	if wantLeaves < 2 {
 		t.Fatalf("tree has %d leaves; need several for a meaningful test", wantLeaves)
 	}
@@ -45,14 +49,22 @@ func TestConcurrentLeafPagesAndScans(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for iter := 0; iter < 20; iter++ {
-				leaves := tree.LeafPages()
+				leaves, err := tree.LeafPages()
+				if err != nil {
+					errs <- err
+					return
+				}
 				if len(leaves) == 0 {
 					errs <- fmt.Errorf("LeafPages returned empty")
 					return
 				}
 				lo := []byte(fmt.Sprintf("key%06d", g*500))
 				hi := []byte(fmt.Sprintf("key%06d", g*500+200))
-				rng := tree.LeafRange(lo, hi, true)
+				rng, err := tree.LeafRange(lo, hi, true)
+				if err != nil {
+					errs <- err
+					return
+				}
 				count := 0
 				it := tree.Seek(lo, hi, true)
 				for it.Next() {
@@ -123,7 +135,10 @@ func TestSeekLeavesReproducesSeek(t *testing.T) {
 		for it.Next() {
 			want = append(want, string(it.Key())+"="+string(it.Value()))
 		}
-		leaves := tree.LeafRange(start, stop, tc.stopIncl)
+		leaves, err := tree.LeafRange(start, stop, tc.stopIncl)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, per := range []int{1, 2, 5, len(leaves) + 1} {
 			if per < 1 {
 				per = 1

@@ -109,14 +109,32 @@ func (c *Catalog) HasTable(name string) bool {
 	return ok
 }
 
-// DropTable removes a table from the catalog. Its pages are not reclaimed
-// (the pager has no free list) but become unreachable.
+// DropTable removes a table from the catalog and returns its pages (index
+// nodes, leaves, heap pages) to the pager's freelist for reuse.
 func (c *Catalog) DropTable(name string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := strings.ToLower(name)
-	if _, ok := c.tables[key]; !ok {
+	t, ok := c.tables[key]
+	if !ok {
 		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	free := func(ids []storage.PageID) {
+		for _, id := range ids {
+			c.pager.FreePage(id)
+		}
+	}
+	if t.Clustered != nil {
+		if ids, err := t.Clustered.tree.AllPages(); err == nil {
+			free(ids)
+		}
+	} else if t.heap != nil {
+		free(t.heap.PageIDs())
+	}
+	for _, ix := range t.Secondary {
+		if ids, err := ix.tree.AllPages(); err == nil {
+			free(ids)
+		}
 	}
 	delete(c.tables, key)
 	return nil
@@ -372,10 +390,16 @@ type ScanMorsel struct {
 	leafCount int
 	// heaps: starting page index and number of pages.
 	pageStart, pageCount int
+	// err carries a partitioning-time page error into execution, so a corrupt
+	// tree fails the query instead of silently scanning nothing.
+	err error
 }
 
 // Iterator returns a fresh iterator over the morsel's rows.
 func (m ScanMorsel) Iterator() *RowIterator {
+	if m.err != nil {
+		return &RowIterator{table: m.table, err: m.err}
+	}
 	if m.table.Clustered != nil {
 		return &RowIterator{table: m.table, tree: m.table.Clustered.tree.ScanLeaves(m.leafStart, m.leafCount)}
 	}
@@ -395,7 +419,10 @@ func (t *Table) ScanMorsels(targetRows int64) []ScanMorsel {
 		return nil
 	}
 	if t.Clustered != nil {
-		leaves := t.Clustered.tree.LeafPages()
+		leaves, err := t.Clustered.tree.LeafPages()
+		if err != nil {
+			return []ScanMorsel{{table: t, err: err}}
+		}
 		if len(leaves) == 0 {
 			return nil
 		}
@@ -452,20 +479,25 @@ type SeekLeafRange struct {
 	stopKey     []byte
 	stopIncl    bool
 	rowsPerLeaf int64
+	// err carries a partitioning-time page error into execution (see
+	// ScanMorsel.err).
+	err error
 }
 
 // newSeekLeafRange walks the leaf chain of a tree between encoded key bounds.
 func newSeekLeafRange(tree *btree.BTree, lo, hi []value.Value, loIncl, hiIncl bool) *SeekLeafRange {
 	start, stop, stopIncl := encodeRange(lo, hi, loIncl, hiIncl)
+	leaves, err := tree.LeafRange(start, stop, stopIncl)
 	r := &SeekLeafRange{
 		tree:     tree,
-		leaves:   tree.LeafRange(start, stop, stopIncl),
+		leaves:   leaves,
 		startKey: start,
 		stopKey:  stop,
 		stopIncl: stopIncl,
+		err:      err,
 	}
-	if nleaves := len(tree.LeafPages()); nleaves > 0 {
-		r.rowsPerLeaf = tree.Count() / int64(nleaves)
+	if all, err := tree.LeafPages(); err == nil && len(all) > 0 {
+		r.rowsPerLeaf = tree.Count() / int64(len(all))
 	}
 	if r.rowsPerLeaf < 1 {
 		r.rowsPerLeaf = 1
@@ -505,6 +537,9 @@ func (m TreeSeekMorsel) iterator() *btree.Iterator {
 // each. Concatenating the morsels' iterators in slice order reproduces the
 // serial seek exactly; nil when the range is empty.
 func (r *SeekLeafRange) partition(targetRows int64) []TreeSeekMorsel {
+	if r.err != nil {
+		return []TreeSeekMorsel{{r: r}}
+	}
 	if len(r.leaves) == 0 {
 		return nil
 	}
@@ -543,6 +578,9 @@ type ClusteredSeekMorsel struct {
 
 // Iterator returns a fresh row iterator over the morsel's range slice.
 func (m ClusteredSeekMorsel) Iterator() *RowIterator {
+	if err := m.morsel.r.err; err != nil {
+		return &RowIterator{table: m.table, err: err}
+	}
 	return &RowIterator{table: m.table, tree: m.morsel.iterator()}
 }
 
@@ -571,6 +609,9 @@ type IndexSeekMorsel struct {
 
 // Iterator returns a fresh entry iterator over the morsel's range slice.
 func (m IndexSeekMorsel) Iterator() *IndexIterator {
+	if err := m.morsel.r.err; err != nil {
+		return &IndexIterator{index: m.index, err: err}
+	}
 	return &IndexIterator{index: m.index, it: m.morsel.iterator()}
 }
 
@@ -696,12 +737,31 @@ type RowIterator struct {
 	table *Table
 	tree  *btree.Iterator
 	heap  *storage.HeapIterator
+	// err is a pre-execution error (e.g. a failed page read while
+	// partitioning morsels); the iterator yields nothing and reports it.
+	err error
 
 	// Cached projection state for NextProjectedInto: the column set it was
 	// built for and the key-prefix decoder (nil = decode from payload).
 	projCols  []int
 	projDec   *KeyPrefixDecoder
 	projReady bool
+}
+
+// Err returns the first page-access error the iterator (or its underlying
+// storage cursor) hit. The raw-span methods report exhaustion on error, so
+// batch fills must check Err when a fill comes up short.
+func (it *RowIterator) Err() error {
+	if it.err != nil {
+		return it.err
+	}
+	if it.tree != nil {
+		return it.tree.Err()
+	}
+	if it.heap != nil {
+		return it.heap.Err()
+	}
+	return nil
 }
 
 // Next returns the next row; ok is false at the end.
@@ -714,9 +774,12 @@ func (it *RowIterator) Next() (row []value.Value, ok bool, err error) {
 // alias buf, so callers must copy values they retain past the next call —
 // the batch scans do exactly that when transposing rows into column vectors.
 func (it *RowIterator) NextInto(buf []value.Value) (row []value.Value, ok bool, err error) {
+	if it.err != nil {
+		return nil, false, it.err
+	}
 	if it.tree != nil {
 		if !it.tree.Next() {
-			return nil, false, nil
+			return nil, false, it.tree.Err()
 		}
 		row, _, err := value.DecodeTupleInto(buf, it.tree.Value())
 		if err != nil {
@@ -733,6 +796,9 @@ func (it *RowIterator) NextInto(buf []value.Value) (row []value.Value, ok bool, 
 // payload. Both alias stable page memory, so the batch fill may collect spans
 // across many rows before decoding column-at-a-time.
 func (it *RowIterator) NextRaw() (key, payload []byte, ok bool) {
+	if it.err != nil {
+		return nil, nil, false
+	}
 	if it.tree != nil {
 		if !it.tree.Next() {
 			return nil, nil, false
@@ -749,6 +815,9 @@ func (it *RowIterator) NextRaw() (key, payload []byte, ok bool) {
 // drain the B+-tree's cached leaf parses chunk-at-a-time; heap tables fall
 // back to the per-record walk. All spans alias stable page memory.
 func (it *RowIterator) NextRawSpans(keys, payloads [][]byte) int {
+	if it.err != nil {
+		return 0
+	}
 	if it.tree != nil {
 		return it.tree.NextSpans(keys, payloads)
 	}
@@ -774,9 +843,12 @@ func (it *RowIterator) NextRawSpans(keys, payloads [][]byte) int {
 // never touched; otherwise unrequested payload fields are skipped without
 // being materialized. The returned row may alias buf, like NextInto.
 func (it *RowIterator) NextProjectedInto(buf []value.Value, cols []int) (row []value.Value, ok bool, err error) {
+	if it.err != nil {
+		return nil, false, it.err
+	}
 	if it.tree != nil {
 		if !it.tree.Next() {
-			return nil, false, nil
+			return nil, false, it.tree.Err()
 		}
 		if !it.projReady {
 			it.projCols = append(it.projCols[:0], cols...)
@@ -802,7 +874,7 @@ func (it *RowIterator) NextProjectedInto(buf []value.Value, cols []int) (row []v
 	}
 	rec, _, ok := it.heap.NextRecord()
 	if !ok {
-		return nil, false, nil
+		return nil, false, it.heap.Err()
 	}
 	row, err = value.DecodeProjectedInto(buf[:0], rec, cols)
 	if err != nil {
@@ -1063,6 +1135,20 @@ func (ix *Index) ScanAll() *IndexIterator {
 type IndexIterator struct {
 	index *Index
 	it    *btree.Iterator
+	// err is a pre-execution error (see RowIterator.err).
+	err error
+}
+
+// Err returns the first page-access error the iterator hit; NextRaw reports
+// exhaustion on error, so covered-scan fills must check it.
+func (s *IndexIterator) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.it != nil {
+		return s.it.Err()
+	}
+	return nil
 }
 
 // NextRaw advances the iterator and returns the next entry's raw payload
@@ -1071,7 +1157,7 @@ type IndexIterator struct {
 // index scans use it to feed the projected column fill without materializing
 // entries.
 func (s *IndexIterator) NextRaw() (payload []byte, ok bool) {
-	if !s.it.Next() {
+	if s.err != nil || !s.it.Next() {
 		return nil, false
 	}
 	return s.it.Value(), true
@@ -1079,8 +1165,11 @@ func (s *IndexIterator) NextRaw() (payload []byte, ok bool) {
 
 // Next returns the next entry; ok is false at the end.
 func (s *IndexIterator) Next() (IndexEntry, bool, error) {
+	if s.err != nil {
+		return IndexEntry{}, false, s.err
+	}
 	if !s.it.Next() {
-		return IndexEntry{}, false, nil
+		return IndexEntry{}, false, s.it.Err()
 	}
 	vals, _, err := value.DecodeTuple(s.it.Value())
 	if err != nil {

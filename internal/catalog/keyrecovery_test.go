@@ -74,8 +74,8 @@ func TestBigIntKeyRecoveryNeverTouchesPayload(t *testing.T) {
 		t.Fatalf("tree holds %d entries, want %d", len(rawKeys), len(keys))
 	}
 	for _, rk := range rawKeys {
-		if !tree.Delete(rk) {
-			t.Fatalf("delete of key %x failed", rk)
+		if ok, err := tree.Delete(rk); err != nil || !ok {
+			t.Fatalf("delete of key %x failed: %v", rk, err)
 		}
 		if err := tree.Insert(rk, []byte{0x07}); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,305 @@
+// Catalog meta persistence: the logical half of durability. The WAL's page
+// images restore every B+-tree and heap page byte for byte; this snapshot
+// restores the schema layer above them — table and index definitions, tree
+// roots and counts, heap page chains, uniquifiers and statistics — so Open
+// can reattach live Table/Index objects to the recovered pages.
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"oldelephant/internal/btree"
+	"oldelephant/internal/storage"
+	"oldelephant/internal/value"
+)
+
+const metaVersion = 1
+
+type metaWriter struct{ buf []byte }
+
+func (w *metaWriter) u8(v byte)      { w.buf = append(w.buf, v) }
+func (w *metaWriter) uv(v uint64)    { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *metaWriter) iv(v int64)     { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *metaWriter) bool(v bool)    { w.u8(map[bool]byte{false: 0, true: 1}[v]) }
+func (w *metaWriter) str(s string)   { w.uv(uint64(len(s))); w.buf = append(w.buf, s...) }
+func (w *metaWriter) bytes(b []byte) { w.uv(uint64(len(b))); w.buf = append(w.buf, b...) }
+func (w *metaWriter) ords(o []int) {
+	w.uv(uint64(len(o)))
+	for _, v := range o {
+		w.uv(uint64(v))
+	}
+}
+func (w *metaWriter) pageIDs(ids []storage.PageID) {
+	w.uv(uint64(len(ids)))
+	for _, id := range ids {
+		w.uv(uint64(id))
+	}
+}
+
+type metaReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *metaReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("catalog: truncated meta at offset %d", r.off)
+	}
+}
+func (r *metaReader) u8() byte {
+	if r.err != nil || r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+func (r *metaReader) uv() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+func (r *metaReader) iv() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+func (r *metaReader) bool() bool { return r.u8() != 0 }
+func (r *metaReader) str() string {
+	n := int(r.uv())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+func (r *metaReader) bytes() []byte {
+	n := int(r.uv())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+func (r *metaReader) ords() []int {
+	n := int(r.uv())
+	out := make([]int, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, int(r.uv()))
+	}
+	return out
+}
+func (r *metaReader) pageIDs() []storage.PageID {
+	n := int(r.uv())
+	out := make([]storage.PageID, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, storage.PageID(r.uv()))
+	}
+	return out
+}
+
+// EncodeMeta serializes the catalog: every table's schema, physical layout
+// (tree roots or heap page chains), uniquifier state and statistics.
+func (c *Catalog) EncodeMeta() []byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	w := &metaWriter{}
+	w.u8(metaVersion)
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	// Deterministic order keeps the replay-twice oracle byte-comparable.
+	for i := 1; i < len(tables); i++ {
+		for j := i; j > 0 && tables[j-1].Name > tables[j].Name; j-- {
+			tables[j-1], tables[j] = tables[j], tables[j-1]
+		}
+	}
+	w.uv(uint64(len(tables)))
+	for _, t := range tables {
+		encodeTable(w, t)
+	}
+	return w.buf
+}
+
+func encodeTable(w *metaWriter, t *Table) {
+	w.str(t.Name)
+	w.uv(uint64(len(t.Columns)))
+	for _, col := range t.Columns {
+		w.str(col.Name)
+		w.u8(byte(col.Kind))
+	}
+	w.bool(t.Clustered != nil)
+	if t.Clustered != nil {
+		w.str(t.Clustered.Name)
+		w.ords(t.Clustered.KeyColumns)
+		encodeTree(w, t.Clustered.tree)
+		w.iv(t.uniquifier)
+		w.bool(t.keyDirty)
+	} else {
+		w.pageIDs(t.heap.PageIDs())
+		w.iv(t.heap.RowCount())
+	}
+	w.uv(uint64(len(t.Secondary)))
+	for _, ix := range t.Secondary {
+		w.str(ix.Name)
+		w.ords(ix.KeyColumns)
+		w.ords(ix.IncludedColumns)
+		w.bool(ix.Unique)
+		encodeTree(w, ix.tree)
+	}
+	encodeStats(w, t.Stats)
+}
+
+func encodeTree(w *metaWriter, tr *btree.BTree) {
+	w.uv(uint64(tr.RootPage()))
+	w.uv(uint64(tr.Height()))
+	w.iv(tr.Count())
+}
+
+func decodeTree(r *metaReader, pager *storage.Pager, overhead int) *btree.BTree {
+	root := storage.PageID(r.uv())
+	height := int(r.uv())
+	count := r.iv()
+	return btree.Open(pager, root, height, count, overhead)
+}
+
+func encodeStats(w *metaWriter, s *TableStats) {
+	w.iv(s.RowCount)
+	w.iv(s.DataBytes)
+	w.uv(uint64(len(s.columns)))
+	for i := range s.columns {
+		cs := &s.columns[i]
+		w.iv(cs.nulls)
+		distinct := int64(len(cs.distinct))
+		if cs.restored > distinct {
+			distinct = cs.restored
+		}
+		w.iv(distinct)
+		w.bool(cs.saturated)
+		w.bytes(value.EncodeTuple(nil, []value.Value{cs.min, cs.max}))
+	}
+}
+
+func decodeStats(r *metaReader, cols []Column) (*TableStats, error) {
+	s := NewTableStats(cols)
+	s.RowCount = r.iv()
+	s.DataBytes = r.iv()
+	n := int(r.uv())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n != len(cols) {
+		return nil, fmt.Errorf("catalog: meta stats for %d columns, table has %d", n, len(cols))
+	}
+	for i := 0; i < n; i++ {
+		cs := &s.columns[i]
+		cs.nulls = r.iv()
+		cs.restored = r.iv()
+		cs.saturated = r.bool()
+		mm := r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		vals, _, err := value.DecodeTuple(mm)
+		if err != nil || len(vals) != 2 {
+			return nil, fmt.Errorf("catalog: bad min/max tuple in meta: %v", err)
+		}
+		cs.min, cs.max = vals[0], vals[1]
+	}
+	return s, r.err
+}
+
+// RestoreMeta rebuilds the catalog's tables from an EncodeMeta snapshot,
+// attaching them to the (already recovered) pages of the shared pager. Any
+// existing tables are discarded.
+func (c *Catalog) RestoreMeta(data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &metaReader{buf: data}
+	if v := r.u8(); v != metaVersion {
+		return fmt.Errorf("catalog: meta version %d not supported", v)
+	}
+	ntables := int(r.uv())
+	tables := make(map[string]*Table, ntables)
+	for i := 0; i < ntables && r.err == nil; i++ {
+		t, err := c.decodeTable(r)
+		if err != nil {
+			return err
+		}
+		tables[strings.ToLower(t.Name)] = t
+	}
+	if r.err != nil {
+		return r.err
+	}
+	c.tables = tables
+	return nil
+}
+
+func (c *Catalog) decodeTable(r *metaReader) (*Table, error) {
+	t := &Table{catalog: c}
+	t.Name = r.str()
+	ncols := int(r.uv())
+	for i := 0; i < ncols && r.err == nil; i++ {
+		name := r.str()
+		kind := value.Kind(r.u8())
+		t.Columns = append(t.Columns, Column{Name: name, Kind: kind})
+	}
+	if r.bool() {
+		name := r.str()
+		keyOrds := r.ords()
+		tree := decodeTree(r, c.pager, c.overhead)
+		t.uniquifier = r.iv()
+		t.keyDirty = r.bool()
+		t.Clustered = &Index{
+			Name: name, Table: t, KeyColumns: keyOrds, Clustered: true, tree: tree,
+		}
+	} else {
+		ids := r.pageIDs()
+		rows := r.iv()
+		t.heap = storage.OpenHeapFile(c.pager, ids, rows, c.overhead)
+	}
+	nsec := int(r.uv())
+	for i := 0; i < nsec && r.err == nil; i++ {
+		name := r.str()
+		keyOrds := r.ords()
+		inclOrds := r.ords()
+		unique := r.bool()
+		tree := decodeTree(r, c.pager, c.overhead)
+		t.Secondary = append(t.Secondary, &Index{
+			Name: name, Table: t, KeyColumns: keyOrds, IncludedColumns: inclOrds,
+			Unique: unique, tree: tree,
+		})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	stats, err := decodeStats(r, t.Columns)
+	if err != nil {
+		return nil, err
+	}
+	t.Stats = stats
+	return t, nil
+}

@@ -35,6 +35,11 @@ type columnStats struct {
 	saturated bool
 	min, max  value.Value
 	nulls     int64
+	// restored is the distinct count recorded in a persisted meta snapshot.
+	// The hash sets themselves are not persisted (they can hold a million
+	// entries per column); after recovery the count reported is the maximum
+	// of the snapshot value and whatever the live set has re-accumulated.
+	restored int64
 }
 
 // NewTableStats creates empty statistics for the given columns.
@@ -85,8 +90,8 @@ func (s *TableStats) DistinctCount(col int) int64 {
 		return 1
 	}
 	n := int64(len(s.columns[col].distinct))
-	if n == 0 && s.RowCount > 0 {
-		return 1
+	if r := s.columns[col].restored; r > n {
+		n = r
 	}
 	if n == 0 {
 		return 1

@@ -18,6 +18,7 @@ import (
 	"oldelephant/internal/sql"
 	"oldelephant/internal/storage"
 	"oldelephant/internal/value"
+	"oldelephant/internal/wal"
 )
 
 // Options configure a new engine instance.
@@ -58,6 +59,14 @@ type Options struct {
 	// PlanCacheSize bounds the plan cache's distinct-statement capacity
 	// (0 selects the default, 256).
 	PlanCacheSize int
+	// DataDir, when set, makes the engine durable (via Open): pages live in a
+	// checksummed data file, commits in a write-ahead log, and recovery runs
+	// on open. Empty means in-memory. New ignores it; use Open.
+	DataDir string
+	// FS overrides the filesystem used for the data file, WAL and meta file
+	// (the crash-recovery harness injects faults through it). nil selects the
+	// real filesystem rooted at DataDir. New ignores it; use Open.
+	FS storage.FS
 }
 
 // Engine is a single-node, in-process database instance.
@@ -82,6 +91,14 @@ type Engine struct {
 	compressed  bool
 	parallelism int
 	plans       *planCache // nil when the plan cache is disabled
+
+	// Durability state (nil/empty for in-memory engines; see durability.go).
+	fsys                        storage.FS
+	wal                         *wal.WAL
+	dataPath, walPath, metaPath string
+	// pending holds committed-but-not-yet-durable statements (undo records),
+	// guarded by stateMu.
+	pending []pendingCommit
 }
 
 // ViewDef records a materialized view: its defining query and backing table.
@@ -99,13 +116,17 @@ type ViewDef struct {
 	Aggregates []string
 }
 
-// New creates an empty engine.
+// New creates an empty in-memory engine. For a durable (file-backed) engine
+// use Open.
 func New(opts Options) *Engine {
+	return newWithPager(opts, storage.NewPager(opts.BufferPoolPages))
+}
+
+func newWithPager(opts Options, pager *storage.Pager) *Engine {
 	overhead := opts.TupleOverhead
 	if overhead < 0 {
 		overhead = storage.DefaultTupleOverhead
 	}
-	pager := storage.NewPager(opts.BufferPoolPages)
 	vectorized := opts.Vectorized || !opts.DisableVectorized
 	parallelism := opts.Parallelism
 	if parallelism <= 0 {
@@ -225,27 +246,69 @@ func (e *Engine) Execute(sqlText string) (*Result, error) {
 // ExecuteStmt runs an already-parsed statement. SELECTs run under the shared
 // reader lock; everything else takes the writer lock, runs alone, and
 // invalidates the plan cache (compiled plans embed access paths, morsel page
-// runs and cardinalities that any catalog or data change can break).
+// runs and cardinalities that any catalog or data change can break). On a
+// durable engine the statement is acknowledged only once its WAL records are
+// on disk; the fsync wait happens after the writer lock is released, so
+// concurrent committers share one fsync (group commit).
 func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 	if s, ok := stmt.(*sql.SelectStmt); ok {
 		return e.QueryStmt(s)
 	}
+	res, lsn, err := e.applyMutation(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if lsn > 0 {
+		if err := e.waitDurable(lsn); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// applyMutation runs the mutation under the writer lock and, on a durable
+// engine, appends its commit group to the WAL (returning the LSN to await).
+func (e *Engine) applyMutation(stmt sql.Statement) (*Result, int64, error) {
 	e.stateMu.Lock()
 	defer e.stateMu.Unlock()
 	defer e.invalidatePlans()
+	kind, info := StmtDDL, stmtLabel(stmt)
+	if _, ok := stmt.(*sql.InsertStmt); ok {
+		kind = StmtInsert
+	}
+	return e.mutateLocked(kind, info, func() (*Result, error) {
+		switch s := stmt.(type) {
+		case *sql.CreateTableStmt:
+			return e.runCreateTable(s)
+		case *sql.CreateIndexStmt:
+			return e.runCreateIndex(s)
+		case *sql.CreateViewStmt:
+			return e.runCreateView(s)
+		case *sql.InsertStmt:
+			return e.runInsert(s)
+		case *sql.DropTableStmt:
+			return e.runDropTable(s)
+		default:
+			return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+		}
+	})
+}
+
+// stmtLabel is the short statement description recorded in WAL commit markers.
+func stmtLabel(stmt sql.Statement) string {
 	switch s := stmt.(type) {
 	case *sql.CreateTableStmt:
-		return e.runCreateTable(s)
+		return "CREATE TABLE " + s.Name
 	case *sql.CreateIndexStmt:
-		return e.runCreateIndex(s)
+		return "CREATE INDEX " + s.Name
 	case *sql.CreateViewStmt:
-		return e.runCreateView(s)
+		return "CREATE VIEW " + s.Name
 	case *sql.InsertStmt:
-		return e.runInsert(s)
+		return "INSERT INTO " + s.Table
 	case *sql.DropTableStmt:
-		return e.runDropTable(s)
+		return "DROP TABLE " + s.Name
 	default:
-		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+		return fmt.Sprintf("%T", stmt)
 	}
 }
 
@@ -694,25 +757,38 @@ func coerceValue(v value.Value, kind value.Kind) value.Value {
 // the column kind. It is the fast path used by the TPC-H loader. Like every
 // mutation it runs exclusively and invalidates the plan cache.
 func (e *Engine) BulkLoad(table string, rows [][]value.Value) error {
-	e.stateMu.Lock()
-	defer e.stateMu.Unlock()
-	defer e.invalidatePlans()
-	tbl, err := e.cat.Table(table)
+	_, lsn, err := e.applyBulkLoad(table, rows)
 	if err != nil {
 		return err
 	}
-	coerced := make([][]value.Value, len(rows))
-	for i, row := range rows {
-		if len(row) != len(tbl.Columns) {
-			return fmt.Errorf("engine: bulk load row %d has %d values, expected %d", i, len(row), len(tbl.Columns))
-		}
-		out := make([]value.Value, len(row))
-		for j, v := range row {
-			out[j] = coerceValue(v, tbl.Columns[j].Kind)
-		}
-		coerced[i] = out
+	if lsn > 0 {
+		return e.waitDurable(lsn)
 	}
-	return tbl.BulkLoad(coerced)
+	return nil
+}
+
+func (e *Engine) applyBulkLoad(table string, rows [][]value.Value) (*Result, int64, error) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	defer e.invalidatePlans()
+	return e.mutateLocked(StmtBulk, "BULK LOAD "+table, func() (*Result, error) {
+		tbl, err := e.cat.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		coerced := make([][]value.Value, len(rows))
+		for i, row := range rows {
+			if len(row) != len(tbl.Columns) {
+				return nil, fmt.Errorf("engine: bulk load row %d has %d values, expected %d", i, len(row), len(tbl.Columns))
+			}
+			out := make([]value.Value, len(row))
+			for j, v := range row {
+				out[j] = coerceValue(v, tbl.Columns[j].Kind)
+			}
+			coerced[i] = out
+		}
+		return &Result{}, tbl.BulkLoad(coerced)
+	})
 }
 
 // TotalDataPages reports the number of allocated pages in the instance,

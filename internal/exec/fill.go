@@ -439,6 +439,11 @@ func (f *colFiller) fillRows(it *catalog.RowIterator, capHint int, encode []int)
 		}
 	}
 	if n == 0 {
+		// Distinguish exhaustion from a page error mid-scan (corrupt tree):
+		// the latter must fail the query, not end it early.
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
 		return nil, nil
 	}
 	return f.wrap(n, encode), nil
@@ -461,6 +466,9 @@ func (f *colFiller) fillEntries(it *catalog.IndexIterator, capHint int, encode [
 		n++
 	}
 	if n == 0 {
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
 		return nil, nil
 	}
 	return f.wrap(n, encode), nil

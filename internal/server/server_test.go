@@ -137,6 +137,25 @@ func TestSessionsDefaultToSerialPlans(t *testing.T) {
 	srv := newTestServer(t, 30000, Options{CoreBudget: 4})
 	defer srv.Close()
 	var maxRunning atomic.Int64
+	// Sample the admission load continuously: sampling only at query
+	// boundaries undercounts overlap when the host is starved (the full test
+	// suite runs packages in parallel on shared runners).
+	stopSampling := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			default:
+			}
+			if r, _ := srv.adm.load(); int64(r) > maxRunning.Load() {
+				maxRunning.Store(int64(r))
+			}
+		}
+	}()
 	var wg sync.WaitGroup
 	errs := make(chan error, 4)
 	for c := 0; c < 4; c++ {
@@ -154,13 +173,12 @@ func TestSessionsDefaultToSerialPlans(t *testing.T) {
 					errs <- err
 					return
 				}
-				if r, _ := srv.adm.load(); int64(r) > maxRunning.Load() {
-					maxRunning.Store(int64(r))
-				}
 			}
 		}()
 	}
 	wg.Wait()
+	close(stopSampling)
+	sampler.Wait()
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)

@@ -23,7 +23,11 @@ func TestConcurrentPagerSharedReads(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
-				pg := p.Get(ids[(g*31+i)%pages])
+				pg, err := p.Get(ids[(g*31+i)%pages])
+				if err != nil {
+					t.Error(err)
+					return
+				}
 				_ = pg.Data()[0] // touch the page like a scan would
 				if i%50 == 0 {
 					_ = p.Stats()

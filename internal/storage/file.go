@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk layout of the data file:
+//
+//	header  (64 bytes):  magic[8] version[4] pageSize[4] pageCount[8] crc[4] pad
+//	slot i  (PageSize+8 bytes, PageID = i+1):  crc[4] reserved[4] data[PageSize]
+//
+// Every page slot carries a CRC32-C of its data so recovery can detect torn
+// page flushes. The header's pageCount is informational: recovery derives the
+// real count from the file size and the WAL, so a torn header write cannot
+// lose data.
+const (
+	dataFileMagic   = "OLDELEPH"
+	dataFileVersion = 1
+	dataHeaderSize  = 64
+	pageSlotSize    = PageSize + 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DataFile is the page store on disk: a header followed by fixed-size page
+// slots, each protected by a checksum. All pages stay memory-resident in the
+// pager; the file exists for durability (checkpoints flush dirty pages here).
+type DataFile struct {
+	f         File
+	pageCount int64 // pages currently represented in the file
+}
+
+// OpenDataFile opens (or creates) the data file at name and loads every page
+// slot. Pages whose checksum does not verify are returned as nil entries with
+// their ids collected in corrupt; the caller (recovery) must ensure the WAL
+// overwrites them. A file shorter than the header — including a brand-new
+// empty file — starts empty.
+func OpenDataFile(fsys FS, name string) (df *DataFile, pages []*Page, corrupt []PageID, err error) {
+	f, err := fsys.OpenFile(name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	df = &DataFile{f: f}
+	if size < dataHeaderSize {
+		// New or never-synced file: write a fresh header. Any commits that
+		// predate a first checkpoint are still in the WAL in full.
+		if err := df.writeHeader(0); err != nil {
+			f.Close()
+			return nil, nil, nil, err
+		}
+		return df, nil, nil, nil
+	}
+	var hdr [dataHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	if string(hdr[:8]) != dataFileMagic {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("storage: %s is not a data file (bad magic)", name)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != dataFileVersion {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("storage: data file version %d not supported", v)
+	}
+	if ps := binary.LittleEndian.Uint32(hdr[12:16]); ps != PageSize {
+		f.Close()
+		return nil, nil, nil, fmt.Errorf("storage: data file page size %d, built for %d", ps, PageSize)
+	}
+	// The header's pageCount and CRC are advisory; a torn header rewrite must
+	// not lose pages, so the slot count comes from the file size.
+	n := (size - dataHeaderSize) / pageSlotSize
+	df.pageCount = n
+	pages = make([]*Page, n)
+	buf := make([]byte, pageSlotSize)
+	for i := int64(0); i < n; i++ {
+		if _, err := f.ReadAt(buf, dataHeaderSize+i*pageSlotSize); err != nil {
+			f.Close()
+			return nil, nil, nil, err
+		}
+		id := PageID(i + 1)
+		want := binary.LittleEndian.Uint32(buf[0:4])
+		got := crc32.Checksum(buf[8:], castagnoli)
+		pg := newPage(id)
+		copy(pg.data, buf[8:])
+		pages[i] = pg
+		if want != got {
+			corrupt = append(corrupt, id)
+		}
+	}
+	return df, pages, corrupt, nil
+}
+
+func (df *DataFile) writeHeader(pageCount int64) error {
+	var hdr [dataHeaderSize]byte
+	copy(hdr[:8], dataFileMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], dataFileVersion)
+	binary.LittleEndian.PutUint32(hdr[12:16], PageSize)
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(pageCount))
+	binary.LittleEndian.PutUint32(hdr[24:28], crc32.Checksum(hdr[:24], castagnoli))
+	_, err := df.f.WriteAt(hdr[:], 0)
+	return err
+}
+
+// WritePage writes one page's slot (checksum + data) without syncing.
+func (df *DataFile) WritePage(pg *Page) error {
+	buf := make([]byte, pageSlotSize)
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.Checksum(pg.data, castagnoli))
+	copy(buf[8:], pg.data)
+	off := dataHeaderSize + (int64(pg.id)-1)*pageSlotSize
+	if _, err := df.f.WriteAt(buf, off); err != nil {
+		return err
+	}
+	if int64(pg.id) > df.pageCount {
+		df.pageCount = int64(pg.id)
+	}
+	return nil
+}
+
+// Sync makes previous writes durable, updating the header first.
+func (df *DataFile) Sync() error {
+	if err := df.writeHeader(df.pageCount); err != nil {
+		return err
+	}
+	return df.f.Sync()
+}
+
+// Truncate drops page slots beyond pageCount (used when recovery shrinks the
+// page set after a rollback of never-committed allocations).
+func (df *DataFile) Truncate(pageCount int64) error {
+	if pageCount >= df.pageCount {
+		return nil
+	}
+	df.pageCount = pageCount
+	return df.f.Truncate(dataHeaderSize + pageCount*pageSlotSize)
+}
+
+// Close closes the underlying file (without syncing).
+func (df *DataFile) Close() error { return df.f.Close() }
+
+// WriteFileAtomic durably replaces name with data via the tmp+rename
+// protocol, framing data with a magic number, length and checksum.
+func WriteFileAtomic(fsys FS, name string, data []byte) error {
+	tmp := name + ".tmp"
+	f, err := fsys.OpenFile(tmp)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 16+len(data))
+	copy(buf[:8], dataFileMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(buf[12:16], crc32.Checksum(data, castagnoli))
+	copy(buf[16:], data)
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, name)
+}
+
+// ReadFileAtomic reads a file written by WriteFileAtomic. A missing, empty or
+// corrupt file returns (nil, false, nil): the callers treat that as "no meta
+// yet" because the atomic rename means any complete file is the newest one.
+func ReadFileAtomic(fsys FS, name string) ([]byte, bool, error) {
+	f, err := fsys.OpenFile(name)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil || size < 16 {
+		return nil, false, err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, false, err
+	}
+	if string(buf[:8]) != dataFileMagic {
+		return nil, false, nil
+	}
+	n := binary.LittleEndian.Uint32(buf[8:12])
+	if int64(16+n) > size {
+		return nil, false, nil
+	}
+	data := buf[16 : 16+n]
+	if crc32.Checksum(data, castagnoli) != binary.LittleEndian.Uint32(buf[12:16]) {
+		return nil, false, nil
+	}
+	return data, true, nil
+}

@@ -25,6 +25,18 @@ func NewHeapFile(pager *Pager, overhead int) *HeapFile {
 	return &HeapFile{pager: pager, overhead: overhead}
 }
 
+// OpenHeapFile reattaches a heap file to its pages (recovery path: the page
+// list and row count come from the persisted catalog meta).
+func OpenHeapFile(pager *Pager, pageIDs []PageID, rowCount int64, overhead int) *HeapFile {
+	if overhead < 0 {
+		overhead = DefaultTupleOverhead
+	}
+	return &HeapFile{pager: pager, pageIDs: pageIDs, overhead: overhead, rowCount: rowCount}
+}
+
+// PageIDs returns the heap's page chain (for meta persistence and freeing).
+func (h *HeapFile) PageIDs() []PageID { return h.pageIDs }
+
 // Insert appends a row and returns its RID.
 func (h *HeapFile) Insert(row []value.Value) (RID, error) {
 	rec := value.EncodeTuple(nil, row)
@@ -32,9 +44,12 @@ func (h *HeapFile) Insert(row []value.Value) (RID, error) {
 		return RID{}, fmt.Errorf("storage: row of %d bytes does not fit in a page", len(rec))
 	}
 	if len(h.pageIDs) > 0 {
-		last := h.pager.Get(h.pageIDs[len(h.pageIDs)-1])
+		last, err := h.pager.Get(h.pageIDs[len(h.pageIDs)-1])
+		if err != nil {
+			return RID{}, err
+		}
+		h.pager.BeforeWrite(last.ID())
 		if slot, ok := last.InsertRecord(rec, h.overhead); ok {
-			h.pager.MarkDirty(last.ID())
 			h.rowCount++
 			return RID{Page: last.ID(), Slot: uint16(slot)}, nil
 		}
@@ -51,7 +66,10 @@ func (h *HeapFile) Insert(row []value.Value) (RID, error) {
 
 // Get fetches the row stored at rid.
 func (h *HeapFile) Get(rid RID) ([]value.Value, error) {
-	pg := h.pager.Get(rid.Page)
+	pg, err := h.pager.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
 	rec := pg.Record(int(rid.Slot))
 	if rec == nil {
 		return nil, fmt.Errorf("storage: no record at %v", rid)
@@ -62,11 +80,14 @@ func (h *HeapFile) Get(rid RID) ([]value.Value, error) {
 
 // Delete removes the row at rid (the slot is tombstoned).
 func (h *HeapFile) Delete(rid RID) error {
-	pg := h.pager.Get(rid.Page)
+	pg, err := h.pager.Get(rid.Page)
+	if err != nil {
+		return err
+	}
+	h.pager.BeforeWrite(rid.Page)
 	if err := pg.DeleteRecord(int(rid.Slot)); err != nil {
 		return err
 	}
-	h.pager.MarkDirty(rid.Page)
 	h.rowCount--
 	return nil
 }
@@ -101,13 +122,19 @@ type HeapIterator struct {
 	endIdx  int // exclusive page-index bound
 	slot    int
 	page    *Page
+	err     error
 }
+
+// Err returns the first page-access error the iterator hit. NextRecord
+// reports exhaustion on error, so callers that see ok == false must check
+// Err to distinguish end-of-heap from a failed page read.
+func (it *HeapIterator) Err() error { return it.err }
 
 // Next returns the next row and its RID. ok is false at end of file.
 func (it *HeapIterator) Next() (row []value.Value, rid RID, ok bool, err error) {
 	rec, rid, ok := it.NextRecord()
 	if !ok {
-		return nil, RID{}, false, nil
+		return nil, RID{}, false, it.err
 	}
 	row, _, err = value.DecodeTuple(rec)
 	if err != nil {
@@ -121,12 +148,20 @@ func (it *HeapIterator) Next() (row []value.Value, rid RID, ok bool, err error) 
 // page memory, which the pager keeps resident, so callers may hold it (and
 // sub-spans of it) across Next calls.
 func (it *HeapIterator) NextRecord() (rec []byte, rid RID, ok bool) {
+	if it.err != nil {
+		return nil, RID{}, false
+	}
 	for {
 		if it.page == nil {
 			if it.pageIdx >= it.endIdx {
 				return nil, RID{}, false
 			}
-			it.page = it.heap.pager.Get(it.heap.pageIDs[it.pageIdx])
+			pg, err := it.heap.pager.Get(it.heap.pageIDs[it.pageIdx])
+			if err != nil {
+				it.err = err
+				return nil, RID{}, false
+			}
+			it.page = pg
 			it.slot = 0
 		}
 		for it.slot < it.page.NumSlots() {

@@ -188,13 +188,17 @@ func TestPagerEviction(t *testing.T) {
 	}
 }
 
-func TestPagerGetUnknownPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for unknown page id")
-		}
-	}()
-	NewPager(0).Get(42)
+func TestPagerGetUnknownErrors(t *testing.T) {
+	pg, err := NewPager(0).Get(42)
+	if err == nil {
+		t.Fatal("expected error for unknown page id")
+	}
+	if pg != nil {
+		t.Error("unknown page id should return a nil page")
+	}
+	if !strings.Contains(err.Error(), "unknown page") {
+		t.Errorf("error should identify the problem: %v", err)
+	}
 }
 
 func TestIOStatsArithmetic(t *testing.T) {
