@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -35,14 +37,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("elephantd: ")
 	var (
-		addr    = flag.String("addr", ":7654", "TCP listen address")
-		dataDir = flag.String("data", "", "durable data directory (empty = in-memory); created if missing, recovered if it holds a previous run")
-		sf      = flag.Float64("tpch", 0, "pre-load TPC-H core tables at this scale factor (0 = start empty)")
-		cores   = flag.Int("cores", 0, "core budget shared by concurrent queries (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "admission queue bound (0 = default 64)")
-		timeout = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
-		slow    = flag.Duration("slow", 100*time.Millisecond, "slow-query log threshold")
-		dop     = flag.Int("dop", 1, "default per-query parallelism sessions request from the core budget (clients override with the set op)")
+		addr     = flag.String("addr", ":7654", "TCP listen address")
+		httpAddr = flag.String("http", "", "observability HTTP listen address serving /metrics (Prometheus), /workload and /debug/pprof (empty = disabled)")
+		dataDir  = flag.String("data", "", "durable data directory (empty = in-memory); created if missing, recovered if it holds a previous run")
+		sf       = flag.Float64("tpch", 0, "pre-load TPC-H core tables at this scale factor (0 = start empty)")
+		cores    = flag.Int("cores", 0, "core budget shared by concurrent queries (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "admission queue bound (0 = default 64)")
+		timeout  = flag.Duration("timeout", 0, "default per-query timeout (0 = none)")
+		slow     = flag.Duration("slow", 100*time.Millisecond, "slow-query log threshold (runtime-settable via the wire set op's slow_ms)")
+		dop      = flag.Int("dop", 1, "default per-query parallelism sessions request from the core budget (clients override with the set op)")
 	)
 	flag.Parse()
 
@@ -66,6 +69,28 @@ func main() {
 		SlowQueryThreshold:        *slow,
 		DefaultSessionParallelism: *dop,
 	})
+
+	if *dataDir != "" {
+		// Persist the workload log next to the data files so the
+		// physical-design advisor can mine it across restarts.
+		wlPath := filepath.Join(*dataDir, "workload.jsonl")
+		if err := srv.LogWorkloadTo(wlPath); err != nil {
+			log.Printf("workload log disabled: %v", err)
+		} else {
+			log.Printf("workload log at %s", wlPath)
+			defer srv.CloseWorkloadLog()
+		}
+	}
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("observability HTTP on %s (/metrics, /workload, /debug/pprof)", hl.Addr())
+		hsrv := &http.Server{Handler: srv.HTTPHandler()}
+		go hsrv.Serve(hl)
+		defer hsrv.Close()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

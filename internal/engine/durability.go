@@ -73,6 +73,16 @@ func (e *Engine) WALStats() wal.Stats {
 	return e.wal.Stats()
 }
 
+// WALSize returns the durable log bytes accumulated since the last
+// checkpoint/truncate (0 for in-memory engines) — the "log bytes since
+// checkpoint" series exported by the metrics registry.
+func (e *Engine) WALSize() int64 {
+	if e.wal == nil {
+		return 0
+	}
+	return e.wal.Size()
+}
+
 // ResetWALStats zeroes the group-commit counters (benchmark harness use).
 func (e *Engine) ResetWALStats() {
 	if e.wal != nil {

@@ -17,6 +17,7 @@ import (
 	"oldelephant/internal/plan"
 	"oldelephant/internal/sql"
 	"oldelephant/internal/storage"
+	"oldelephant/internal/trace"
 	"oldelephant/internal/value"
 	"oldelephant/internal/wal"
 )
@@ -227,6 +228,10 @@ type Result struct {
 	Rows    []exec.Row
 	Plan    string
 	Stats   Stats
+	// Trace is the per-operator execution trace, set only when the query ran
+	// with QueryOptions.Trace (EXPLAIN ANALYZE). The tree is finished and
+	// immutable: safe to share, serialize or aggregate.
+	Trace *trace.Span
 }
 
 // ResetBufferPool empties the buffer pool so the next query runs cold, the
@@ -253,6 +258,9 @@ func (e *Engine) Execute(sqlText string) (*Result, error) {
 func (e *Engine) ExecuteStmt(stmt sql.Statement) (*Result, error) {
 	if s, ok := stmt.(*sql.SelectStmt); ok {
 		return e.QueryStmt(s)
+	}
+	if s, ok := stmt.(*sql.ExplainStmt); ok {
+		return e.runExplain(s)
 	}
 	res, lsn, err := e.applyMutation(stmt)
 	if err != nil {
@@ -325,6 +333,12 @@ type QueryOptions struct {
 	Parallelism int
 	// NoCache bypasses the plan cache for this query.
 	NoCache bool
+	// Trace instruments the plan with per-operator collectors and attaches
+	// the finished span tree as Result.Trace. Traced executions always bypass
+	// the plan cache: the instrumented operator instances must not be leased
+	// to later (untraced) executions. When Trace is false no tracing code
+	// runs at all — the untraced path is unchanged.
+	Trace bool
 }
 
 // Query runs a SELECT statement and returns its result.
@@ -392,7 +406,7 @@ func (e *Engine) QueryPrepared(opts QueryOptions, p *Prepared) (*Result, error) 
 // non-nil, skips parsing.
 func (e *Engine) execSelect(opts QueryOptions, norm, sqlText string, stmt *sql.SelectStmt) (*Result, error) {
 	par := e.effectiveParallelism(opts.Parallelism)
-	useCache := e.plans != nil && norm != ""
+	useCache := e.plans != nil && norm != "" && !opts.Trace
 	var pl *plan.Plan
 	cached := false
 	key := planKey{sql: norm, vectorized: e.vectorized, compressed: e.compressed, parallelism: par}
@@ -422,6 +436,10 @@ func (e *Engine) execSelect(opts QueryOptions, norm, sqlText string, stmt *sql.S
 		}
 		e.parallelizePlan(pl, par)
 	}
+	var span *trace.Span
+	if opts.Trace {
+		pl.Root, span = exec.InstrumentPlan(pl.Root)
+	}
 	res, err := e.executePlan(opts.Ctx, pl)
 	if err != nil {
 		// The plan instance is discarded, not released: after a failed or
@@ -432,6 +450,7 @@ func (e *Engine) execSelect(opts QueryOptions, norm, sqlText string, stmt *sql.S
 		e.plans.release(key, stmt, pl)
 	}
 	res.Stats.PlanCached = cached
+	res.Trace = span
 	return res, nil
 }
 
@@ -494,6 +513,55 @@ func (e *Engine) parallelizePlan(pl *plan.Plan, workers int) {
 	if rewrote {
 		pl.Explain = fmt.Sprintf("%s [parallel %d]", pl.Explain, workers)
 	}
+}
+
+// runExplain executes an EXPLAIN [ANALYZE] statement. Plain EXPLAIN plans
+// the query and returns the plan text as rows; EXPLAIN ANALYZE executes the
+// query with tracing on and returns the plan text followed by the annotated
+// operator tree (per-operator rows, batches, wall time, worker/morsel counts)
+// and an execution summary. Either way the result is a single "plan" string
+// column, one line per row, with the structured span tree in Result.Trace
+// for ANALYZE.
+func (e *Engine) runExplain(s *sql.ExplainStmt) (*Result, error) {
+	if !s.Analyze {
+		e.stateMu.RLock()
+		planner := plan.NewPlanner(e.cat)
+		planner.DisableCompressed = !e.compressed
+		planner.DisableVectorized = !e.vectorized
+		pl, err := planner.PlanSelect(s.Query)
+		if err != nil {
+			e.stateMu.RUnlock()
+			return nil, err
+		}
+		e.parallelizePlan(pl, e.parallelism)
+		e.stateMu.RUnlock()
+		return planTextResult(pl.Explain, strings.Split(pl.Explain, "\n")), nil
+	}
+	e.stateMu.RLock()
+	res, err := e.execSelect(QueryOptions{Trace: true}, "", "", s.Query)
+	e.stateMu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(res.Plan, "\n")
+	lines = append(lines, res.Trace.Lines()...)
+	lines = append(lines, fmt.Sprintf("Execution time: %s  rows returned: %d  page reads: %d",
+		res.Stats.Wall.Round(time.Microsecond), res.Stats.RowsReturned, res.Stats.IO.PageReads))
+	out := planTextResult(res.Plan, lines)
+	out.Trace = res.Trace
+	out.Stats = res.Stats
+	out.Stats.RowsReturned = len(out.Rows)
+	return out, nil
+}
+
+// planTextResult wraps annotation lines as a one-column result.
+func planTextResult(planText string, lines []string) *Result {
+	rows := make([]exec.Row, len(lines))
+	for i, line := range lines {
+		rows[i] = exec.Row{value.NewString(line)}
+	}
+	return &Result{Columns: []string{"plan"}, Rows: rows, Plan: planText,
+		Stats: Stats{RowsReturned: len(rows)}}
 }
 
 // Explain plans a SELECT and returns the textual plan without executing it,

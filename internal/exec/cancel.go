@@ -71,6 +71,10 @@ func ApplyContext(op any, ctx context.Context) {
 		ApplyContext(o.Right, ctx)
 	case *IndexNestedLoopJoin:
 		ApplyContext(o.Outer, ctx)
+	case *tracedBatch:
+		ApplyContext(o.op, ctx)
+	case *tracedRow:
+		ApplyContext(o.op, ctx)
 	}
 }
 

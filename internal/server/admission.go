@@ -27,6 +27,7 @@ type admission struct {
 
 	running int
 	queued  int
+	waits   int64 // queries that had to queue before being granted
 }
 
 type waiter struct {
@@ -70,6 +71,7 @@ func (a *admission) acquire(ctx context.Context, tokens int) (int, error) {
 	w := &waiter{tokens: tokens, ready: make(chan struct{})}
 	a.queue = append(a.queue, w)
 	a.queued++
+	a.waits++
 	a.mu.Unlock()
 
 	var done <-chan struct{}
@@ -129,4 +131,11 @@ func (a *admission) load() (running, queued int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.running, a.queued
+}
+
+// waitCount reports how many queries ever had to queue for admission.
+func (a *admission) waitCount() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waits
 }

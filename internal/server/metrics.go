@@ -7,6 +7,7 @@ import (
 
 	"oldelephant/internal/engine"
 	"oldelephant/internal/storage"
+	"oldelephant/internal/wal"
 )
 
 // latWindow is the number of most-recent query latencies kept for percentile
@@ -17,13 +18,25 @@ const latWindow = 4096
 // slowLogSize bounds the slow-query log (newest entries win).
 const slowLogSize = 64
 
-// SlowQuery is one slow-query log entry.
+// SlowQuery is one slow-query log entry. Beyond the SQL and wall time it
+// captures what made the query slow: the plan that executed, the queueing
+// share of the latency, the per-query I/O delta, and — when the query ran
+// with tracing (EXPLAIN ANALYZE) — the compact trace summary.
 type SlowQuery struct {
 	SQL     string
 	Session int64
 	Wall    time.Duration
-	Rows    int
-	When    time.Time
+	// Queue is how much of Wall was spent waiting for admission.
+	Queue time.Duration
+	Rows  int
+	When  time.Time
+	// Plan is the textual plan the statement executed (empty for DDL).
+	Plan string
+	// IO is the statement's page-I/O delta.
+	IO storage.IOStats
+	// Trace is the compact per-operator trace summary, set only when the
+	// query executed with tracing on.
+	Trace string
 }
 
 // metrics aggregates per-server observability: query counts, a latency
@@ -51,8 +64,9 @@ func newMetrics(slowThreshold time.Duration) *metrics {
 	return &metrics{start: time.Now(), slowThreshold: slowThreshold}
 }
 
-// observe records one finished query.
-func (m *metrics) observe(sessionID int64, sqlText string, res *engine.Result, wall time.Duration) {
+// observe records one finished query; queue is the admission-wait share of
+// wall (0 for statements that bypass admission).
+func (m *metrics) observe(sessionID int64, sqlText string, res *engine.Result, wall, queue time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.queries++
@@ -66,15 +80,47 @@ func (m *metrics) observe(sessionID int64, sqlText string, res *engine.Result, w
 		m.io = m.io.Add(res.Stats.IO)
 	}
 	if m.slowThreshold > 0 && wall >= m.slowThreshold {
-		entry := SlowQuery{SQL: sqlText, Session: sessionID, Wall: wall, When: time.Now()}
+		entry := SlowQuery{SQL: sqlText, Session: sessionID, Wall: wall, Queue: queue, When: time.Now()}
 		if res != nil {
 			entry.Rows = res.Stats.RowsReturned
+			entry.Plan = res.Plan
+			entry.IO = res.Stats.IO
+			if res.Trace != nil {
+				entry.Trace = res.Trace.Summary()
+			}
 		}
 		m.slow = append(m.slow, entry)
 		if len(m.slow) > slowLogSize {
 			m.slow = m.slow[len(m.slow)-slowLogSize:]
 		}
 	}
+}
+
+// setSlowThreshold changes the slow-query threshold at runtime (0 disables
+// the slow log).
+func (m *metrics) setSlowThreshold(d time.Duration) {
+	m.mu.Lock()
+	m.slowThreshold = d
+	m.mu.Unlock()
+}
+
+// getSlowThreshold returns the current slow-query threshold.
+func (m *metrics) getSlowThreshold() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.slowThreshold
+}
+
+// metricCounts is the cheap counter subset sampled by the metrics registry
+// (no percentile sort, no slow-log copy).
+type metricCounts struct {
+	queries, errors, rejected, canceled int64
+}
+
+func (m *metrics) counts() metricCounts {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return metricCounts{queries: m.queries, errors: m.errors, rejected: m.rejected, canceled: m.canceled}
 }
 
 func (m *metrics) observeError()    { m.mu.Lock(); m.errors++; m.mu.Unlock() }
@@ -92,15 +138,40 @@ type Snapshot struct {
 	Canceled int64
 	// QPS is queries completed per second of uptime.
 	QPS float64
-	// Latency percentiles over the most recent window, plus the all-time
-	// maximum and mean.
+	// Latency percentiles over the most recent LatencyWindow completions,
+	// plus the all-time maximum and mean. A long run under-reports history by
+	// design: the window tracks current load, Queries counts everything.
 	P50, P95, P99, Max, Mean time.Duration
-	// Running and Queued are the admission controller's current load.
+	// LatencyWindow is the size of the percentile sample window (how many
+	// most-recent queries P50/P95/P99 describe).
+	LatencyWindow int
+	// Running and Queued are the admission controller's current load: queries
+	// holding tokens and queries waiting for them. Queued is the current
+	// admission-queue depth.
 	Running, Queued int
+	// InFlight is the number of statements currently executing or waiting in
+	// the server (admitted SELECTs plus DDL/DML that bypass admission).
+	InFlight int64
+	// Waits counts queries that had to queue for admission (ever); Rejected
+	// above counts the ones shed outright.
+	Waits int64
 	// Sessions is the number of open sessions.
 	Sessions int
+	// WorkloadRecords is the total number of workload-log records appended.
+	WorkloadRecords int64
+	// SlowThreshold is the current slow-query log threshold.
+	SlowThreshold time.Duration
 	// PlanCache is the engine's shared plan-cache counters.
 	PlanCache engine.PlanCacheStats
+	// WAL is the engine's group-commit counters (zero for in-memory engines)
+	// and WALBytes the durable log size since the last checkpoint.
+	WAL      wal.Stats
+	WALBytes int64
+	// BufferResident is the number of pages resident in the buffer pool;
+	// ChecksumFailures counts page slots that failed CRC verification when
+	// the data file was opened.
+	BufferResident   int
+	ChecksumFailures int64
 	// IO sums the per-query I/O stats of completed queries. Concurrent
 	// queries share one buffer pool, so per-query attribution is approximate
 	// under load; the sum remains an accurate server-wide volume.
@@ -115,14 +186,16 @@ func (m *metrics) snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := Snapshot{
-		Uptime:   time.Since(m.start),
-		Queries:  m.queries,
-		Errors:   m.errors,
-		Rejected: m.rejected,
-		Canceled: m.canceled,
-		Max:      m.latMax,
-		IO:       m.io,
-		Slow:     append([]SlowQuery(nil), m.slow...),
+		Uptime:        time.Since(m.start),
+		Queries:       m.queries,
+		Errors:        m.errors,
+		Rejected:      m.rejected,
+		Canceled:      m.canceled,
+		Max:           m.latMax,
+		LatencyWindow: latWindow,
+		SlowThreshold: m.slowThreshold,
+		IO:            m.io,
+		Slow:          append([]SlowQuery(nil), m.slow...),
 	}
 	if secs := s.Uptime.Seconds(); secs > 0 {
 		s.QPS = float64(m.queries) / secs

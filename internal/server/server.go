@@ -22,9 +22,11 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oldelephant/internal/engine"
+	"oldelephant/internal/obs"
 )
 
 // ErrServerClosed is returned for work submitted after Close began.
@@ -65,10 +67,22 @@ const defaultSlowThreshold = 100 * time.Millisecond
 
 // Server coordinates concurrent sessions over one engine.
 type Server struct {
-	eng     *engine.Engine
-	adm     *admission
-	metrics *metrics
-	opts    Options
+	eng      *engine.Engine
+	adm      *admission
+	metrics  *metrics
+	workload *workloadLog
+	opts     Options
+
+	// inFlightN gauges statements currently inside the server (queued,
+	// executing, or finishing) — the live companion to the completed-query
+	// counters in metrics.
+	inFlightN atomic.Int64
+
+	// obsReg is the metrics registry behind the Prometheus endpoint; latHist
+	// is the query-latency histogram fed by every completed statement. Both
+	// are built in New so recording needs no nil checks or synchronization.
+	obsReg  *obs.Registry
+	latHist *obs.Histogram
 
 	mu        sync.Mutex
 	sessions  map[int64]*Session
@@ -95,13 +109,16 @@ func New(eng *engine.Engine, opts Options) *Server {
 	if opts.DefaultSessionParallelism <= 0 {
 		opts.DefaultSessionParallelism = 1
 	}
-	return &Server{
+	s := &Server{
 		eng:      eng,
 		adm:      newAdmission(opts.CoreBudget, opts.MaxQueue),
 		metrics:  newMetrics(opts.SlowQueryThreshold),
+		workload: newWorkloadLog(0),
 		opts:     opts,
 		sessions: make(map[int64]*Session),
 	}
+	s.initRegistry()
+	return s
 }
 
 // Engine returns the underlying engine.
@@ -154,12 +171,42 @@ func (s *Server) Close() error {
 func (s *Server) Metrics() Snapshot {
 	snap := s.metrics.snapshot()
 	snap.Running, snap.Queued = s.adm.load()
+	snap.InFlight = s.inFlightN.Load()
+	snap.Waits = s.adm.waitCount()
+	snap.WorkloadRecords = s.workload.count()
 	snap.PlanCache = s.eng.PlanCacheStats()
+	snap.WAL = s.eng.WALStats()
+	snap.WALBytes = s.eng.WALSize()
+	snap.BufferResident = s.eng.Pager().Resident()
+	snap.ChecksumFailures = s.eng.Pager().CorruptPages()
 	s.mu.Lock()
 	snap.Sessions = len(s.sessions)
 	s.mu.Unlock()
 	return snap
 }
+
+// SetSlowThreshold changes the slow-query log threshold at runtime for the
+// whole server (0 disables the log). Clients reach it through the wire
+// protocol's set op ("slow_ms"); elephantd sets the initial value from its
+// -slow flag.
+func (s *Server) SetSlowThreshold(d time.Duration) { s.metrics.setSlowThreshold(d) }
+
+// SlowThreshold returns the current slow-query log threshold.
+func (s *Server) SlowThreshold() time.Duration { return s.metrics.getSlowThreshold() }
+
+// LogWorkloadTo mirrors every workload-log record to a JSONL file (appending
+// to an existing log). elephantd points this at <data>/workload.jsonl when
+// running durable; ReadWorkloadLog decodes the file back, tolerating a torn
+// final line.
+func (s *Server) LogWorkloadTo(path string) error { return s.workload.persistTo(path) }
+
+// Workload returns up to limit most-recent workload-log records, oldest
+// first (limit <= 0 returns the whole ring).
+func (s *Server) Workload(limit int) []WorkloadRecord { return s.workload.recent(limit) }
+
+// CloseWorkloadLog flushes and closes the workload JSONL file, if one was
+// opened. The in-memory ring keeps recording.
+func (s *Server) CloseWorkloadLog() error { return s.workload.close() }
 
 // Session is one client's state: execution knobs, prepared statements and
 // counters. A Session is not safe for concurrent use by multiple goroutines;
@@ -275,14 +322,19 @@ func (ss *Session) Execute(sqlText string) (*engine.Result, error) {
 	srv.inflight.Add(1)
 	srv.mu.Unlock()
 	defer srv.inflight.Done()
+	srv.inFlightN.Add(1)
+	defer srv.inFlightN.Add(-1)
 	start := time.Now()
 	res, err := srv.eng.Execute(sqlText)
 	if err != nil {
 		srv.metrics.observeError()
 		return nil, err
 	}
+	wall := time.Since(start)
 	ss.queries++
-	srv.metrics.observe(ss.id, sqlText, res, time.Since(start))
+	srv.metrics.observe(ss.id, sqlText, res, wall, 0)
+	srv.observeLatency(wall)
+	srv.workload.append(newWorkloadRecord(ss.id, sqlText, res, wall, 0))
 	return res, nil
 }
 
@@ -337,6 +389,8 @@ func (ss *Session) run(ctx context.Context, sqlText string, exec func(engine.Que
 	srv.inflight.Add(1)
 	srv.mu.Unlock()
 	defer srv.inflight.Done()
+	srv.inFlightN.Add(1)
+	defer srv.inFlightN.Add(-1)
 
 	if ctx == nil {
 		ctx = context.Background()
@@ -358,6 +412,7 @@ func (ss *Session) run(ctx context.Context, sqlText string, exec func(engine.Que
 		return nil, err
 	}
 	defer srv.adm.release(granted)
+	queue := time.Since(start)
 
 	res, err := exec(engine.QueryOptions{Ctx: ctx, Parallelism: granted})
 	if err != nil {
@@ -368,7 +423,10 @@ func (ss *Session) run(ctx context.Context, sqlText string, exec func(engine.Que
 		}
 		return nil, err
 	}
+	wall := time.Since(start)
 	ss.queries++
-	srv.metrics.observe(ss.id, sqlText, res, time.Since(start))
+	srv.metrics.observe(ss.id, sqlText, res, wall, queue)
+	srv.observeLatency(wall)
+	srv.workload.append(newWorkloadRecord(ss.id, sqlText, res, wall, queue))
 	return res, nil
 }

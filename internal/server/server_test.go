@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -134,6 +135,12 @@ func TestAdmissionBudget(t *testing.T) {
 // side by side inside the core budget instead of each grabbing the whole
 // machine and serializing the server.
 func TestSessionsDefaultToSerialPlans(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		// The asserted property — two admitted queries observably running at
+		// the same instant — needs at least two CPUs; on a single-core host
+		// overlap happens only by preemption luck and the test flakes.
+		t.Skip("needs >= 2 CPUs to observe concurrent execution")
+	}
 	srv := newTestServer(t, 30000, Options{CoreBudget: 4})
 	defer srv.Close()
 	var maxRunning atomic.Int64

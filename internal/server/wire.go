@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"oldelephant/internal/engine"
+	"oldelephant/internal/trace"
 	"oldelephant/internal/value"
 )
 
@@ -21,12 +22,17 @@ import (
 // Requests:
 //
 //	{"op":"query","sql":"SELECT ..."}         execute any statement
+//	                                          (incl. EXPLAIN [ANALYZE] SELECT)
 //	{"op":"prepare","name":"q1","sql":"..."}  parse + register
 //	{"op":"exec","name":"q1"}                 run a prepared statement
-//	{"op":"set","parallelism":2,"timeout_ms":500}
+//	{"op":"set","parallelism":2,"timeout_ms":500,"slow_ms":250}
 //	{"op":"metrics"}                          server snapshot
+//	{"op":"workload","limit":100}             recent workload-log records
 //	{"op":"ping"}
 //	{"op":"close"}                            end the session
+//
+// parallelism and timeout_ms scope to the session; slow_ms sets the
+// server-wide slow-query threshold (0 disables the slow log).
 //
 // Responses carry {"ok":true,...} with columns/rows/plan/wall_us/cached for
 // result sets, or {"ok":false,"error":"..."}. Values map to JSON naturally
@@ -39,6 +45,8 @@ type Request struct {
 	Name        string `json:"name,omitempty"`
 	Parallelism *int   `json:"parallelism,omitempty"`
 	TimeoutMS   *int   `json:"timeout_ms,omitempty"`
+	SlowMS      *int   `json:"slow_ms,omitempty"`
+	Limit       *int   `json:"limit,omitempty"`
 }
 
 // Response is one wire response.
@@ -52,50 +60,80 @@ type Response struct {
 	WallUS   int64        `json:"wall_us,omitempty"`
 	Cached   bool         `json:"cached,omitempty"`
 	Metrics  *WireMetrics `json:"metrics,omitempty"`
+	// Trace is the structured span tree of an EXPLAIN ANALYZE execution.
+	Trace *trace.Span `json:"trace,omitempty"`
+	// Workload carries the workload op's records.
+	Workload []WorkloadRecord `json:"workload,omitempty"`
 }
 
-// WireMetrics is the JSON shape of a metrics snapshot.
+// WireMetrics is the JSON shape of a metrics snapshot. p50/p95/p99 describe
+// the latency_window most-recent queries; queries counts everything since
+// start.
 type WireMetrics struct {
-	UptimeMS   int64   `json:"uptime_ms"`
-	Queries    int64   `json:"queries"`
-	Errors     int64   `json:"errors"`
-	Rejected   int64   `json:"rejected"`
-	Canceled   int64   `json:"canceled"`
-	QPS        float64 `json:"qps"`
-	P50US      int64   `json:"p50_us"`
-	P95US      int64   `json:"p95_us"`
-	P99US      int64   `json:"p99_us"`
-	MaxUS      int64   `json:"max_us"`
-	Running    int     `json:"running"`
-	Queued     int     `json:"queued"`
-	Sessions   int     `json:"sessions"`
-	CacheHits  int64   `json:"plan_cache_hits"`
-	CacheMiss  int64   `json:"plan_cache_misses"`
-	CacheRate  float64 `json:"plan_cache_hit_rate"`
-	PageReads  int64   `json:"page_reads"`
-	CacheReads int64   `json:"buffer_cache_hits"`
+	UptimeMS      int64   `json:"uptime_ms"`
+	Queries       int64   `json:"queries"`
+	Errors        int64   `json:"errors"`
+	Rejected      int64   `json:"rejected"`
+	Canceled      int64   `json:"canceled"`
+	QPS           float64 `json:"qps"`
+	P50US         int64   `json:"p50_us"`
+	P95US         int64   `json:"p95_us"`
+	P99US         int64   `json:"p99_us"`
+	MaxUS         int64   `json:"max_us"`
+	LatencyWindow int     `json:"latency_window"`
+	Running       int     `json:"running"`
+	Queued        int     `json:"queued"`
+	InFlight      int64   `json:"in_flight"`
+	Waits         int64   `json:"admission_waits"`
+	Sessions      int     `json:"sessions"`
+	SlowMS        int64   `json:"slow_ms"`
+	WorkloadRecs  int64   `json:"workload_records"`
+	CacheHits     int64   `json:"plan_cache_hits"`
+	CacheMiss     int64   `json:"plan_cache_misses"`
+	CacheEvict    int64   `json:"plan_cache_evictions"`
+	CacheRate     float64 `json:"plan_cache_hit_rate"`
+	PageReads     int64   `json:"page_reads"`
+	CacheReads    int64   `json:"buffer_cache_hits"`
+	Resident      int     `json:"buffer_resident_pages"`
+	ChecksumFails int64   `json:"checksum_failures"`
+	WALCommits    int64   `json:"wal_commits"`
+	WALSyncs      int64   `json:"wal_syncs"`
+	WALAborts     int64   `json:"wal_aborts"`
+	WALBytes      int64   `json:"wal_bytes_since_checkpoint"`
 }
 
 func wireMetrics(snap Snapshot) *WireMetrics {
 	return &WireMetrics{
-		UptimeMS:   snap.Uptime.Milliseconds(),
-		Queries:    snap.Queries,
-		Errors:     snap.Errors,
-		Rejected:   snap.Rejected,
-		Canceled:   snap.Canceled,
-		QPS:        snap.QPS,
-		P50US:      snap.P50.Microseconds(),
-		P95US:      snap.P95.Microseconds(),
-		P99US:      snap.P99.Microseconds(),
-		MaxUS:      snap.Max.Microseconds(),
-		Running:    snap.Running,
-		Queued:     snap.Queued,
-		Sessions:   snap.Sessions,
-		CacheHits:  snap.PlanCache.Hits,
-		CacheMiss:  snap.PlanCache.Misses,
-		CacheRate:  snap.PlanCache.HitRate(),
-		PageReads:  snap.IO.PageReads,
-		CacheReads: snap.IO.CacheHits,
+		UptimeMS:      snap.Uptime.Milliseconds(),
+		Queries:       snap.Queries,
+		Errors:        snap.Errors,
+		Rejected:      snap.Rejected,
+		Canceled:      snap.Canceled,
+		QPS:           snap.QPS,
+		P50US:         snap.P50.Microseconds(),
+		P95US:         snap.P95.Microseconds(),
+		P99US:         snap.P99.Microseconds(),
+		MaxUS:         snap.Max.Microseconds(),
+		LatencyWindow: snap.LatencyWindow,
+		Running:       snap.Running,
+		Queued:        snap.Queued,
+		InFlight:      snap.InFlight,
+		Waits:         snap.Waits,
+		Sessions:      snap.Sessions,
+		SlowMS:        snap.SlowThreshold.Milliseconds(),
+		WorkloadRecs:  snap.WorkloadRecords,
+		CacheHits:     snap.PlanCache.Hits,
+		CacheMiss:     snap.PlanCache.Misses,
+		CacheEvict:    snap.PlanCache.Evictions,
+		CacheRate:     snap.PlanCache.HitRate(),
+		PageReads:     snap.IO.PageReads,
+		CacheReads:    snap.IO.CacheHits,
+		Resident:      snap.BufferResident,
+		ChecksumFails: snap.ChecksumFailures,
+		WALCommits:    snap.WAL.Commits,
+		WALSyncs:      snap.WAL.Syncs,
+		WALAborts:     snap.WAL.Aborts,
+		WALBytes:      snap.WALBytes,
 	}
 }
 
@@ -125,6 +163,7 @@ func resultResponse(res *engine.Result) Response {
 		Plan:     res.Plan,
 		WallUS:   res.Stats.Wall.Microseconds(),
 		Cached:   res.Stats.PlanCached,
+		Trace:    res.Trace,
 	}
 	if len(res.Rows) > 0 {
 		out.Rows = make([][]any, len(res.Rows))
@@ -253,9 +292,18 @@ func (s *Server) handle(sess *Session, req Request) Response {
 		if req.TimeoutMS != nil {
 			sess.SetTimeout(time.Duration(*req.TimeoutMS) * time.Millisecond)
 		}
+		if req.SlowMS != nil {
+			s.SetSlowThreshold(time.Duration(*req.SlowMS) * time.Millisecond)
+		}
 		return Response{OK: true}
 	case "metrics":
 		return Response{OK: true, Metrics: wireMetrics(s.Metrics())}
+	case "workload":
+		limit := 0
+		if req.Limit != nil {
+			limit = *req.Limit
+		}
+		return Response{OK: true, Workload: s.Workload(limit)}
 	case "ping":
 		return Response{OK: true}
 	default:

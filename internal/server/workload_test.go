@@ -1,0 +1,174 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestWorkloadJSONLRoundTrip proves the on-disk format: records appended by a
+// serving server decode back identically through ReadWorkloadLog.
+func TestWorkloadJSONLRoundTrip(t *testing.T) {
+	srv := newTestServer(t, 500, Options{})
+	defer srv.Close()
+	path := filepath.Join(t.TempDir(), "workload.jsonl")
+	if err := srv.LogWorkloadTo(path); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := srv.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	stmts := []string{
+		"SELECT COUNT(*) FROM items",
+		"SELECT grp, SUM(amount) FROM items GROUP BY grp",
+		"SELECT COUNT(*) FROM items WHERE id < 100",
+		"EXPLAIN ANALYZE SELECT grp, COUNT(*) FROM items WHERE amount > 50 GROUP BY grp",
+	}
+	for _, q := range stmts {
+		if _, err := sess.Execute(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	if err := srv.CloseWorkloadLog(); err != nil {
+		t.Fatal(err)
+	}
+
+	inMem := srv.Workload(0)
+	onDisk, err := ReadWorkloadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != len(stmts) || len(inMem) != len(stmts) {
+		t.Fatalf("got %d on-disk / %d in-memory records, want %d", len(onDisk), len(inMem), len(stmts))
+	}
+	// The decoded records must be byte-identical to what the ring holds.
+	if !reflect.DeepEqual(onDisk, inMem) {
+		t.Fatalf("round-trip mismatch:\n disk: %+v\n ring: %+v", onDisk, inMem)
+	}
+	for i, rec := range onDisk {
+		if rec.V != WorkloadRecordVersion {
+			t.Errorf("record %d version = %d", i, rec.V)
+		}
+		if rec.SQL != stmts[i] {
+			t.Errorf("record %d SQL = %q, want %q", i, rec.SQL, stmts[i])
+		}
+		if rec.Fingerprint == "" || rec.TSMicros == 0 {
+			t.Errorf("record %d missing fingerprint/timestamp: %+v", i, rec)
+		}
+	}
+	// Statements that differ only in case and whitespace must share a
+	// fingerprint — that is what lets the advisor group re-submissions of the
+	// same statement shape.
+	if _, err := sess.Execute("select  COUNT(*)\nFROM Items   WHERE id < 100"); err != nil {
+		t.Fatal(err)
+	}
+	recs := srv.Workload(0)
+	last := recs[len(recs)-1]
+	if last.Fingerprint != onDisk[2].Fingerprint {
+		t.Errorf("case/whitespace variants fingerprint differently:\n%q\n%q", last.Fingerprint, onDisk[2].Fingerprint)
+	}
+	if last.SQL == onDisk[2].SQL {
+		t.Error("test is degenerate: SQL texts are identical")
+	}
+	// The traced statement recorded its trace summary and rows-in.
+	traced := onDisk[3]
+	if traced.Trace == "" || traced.RowsIn == 0 {
+		t.Errorf("EXPLAIN ANALYZE record missing trace facts: %+v", traced)
+	}
+	if !strings.Contains(traced.Trace, "SeqScan") {
+		t.Errorf("trace summary lacks scan operator: %q", traced.Trace)
+	}
+}
+
+// TestWorkloadTornTailTolerated proves crash-tolerance of the reader: a log
+// whose final line was torn mid-write decodes every complete record and
+// silently drops the tail.
+func TestWorkloadTornTailTolerated(t *testing.T) {
+	srv := newTestServer(t, 100, Options{})
+	defer srv.Close()
+	path := filepath.Join(t.TempDir(), "workload.jsonl")
+	if err := srv.LogWorkloadTo(path); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := srv.Session()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Execute("SELECT COUNT(*) FROM items"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.CloseWorkloadLog(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final line: drop the last 20 bytes, leaving invalid JSON.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadWorkloadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("torn log decoded %d records, want 2", len(recs))
+	}
+
+	// Unknown-version records are skipped, not fatal, and do not hide later
+	// known-version lines.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []string{
+		`{"v":1,"ts_us":1,"session":1,"sql":"SELECT 1","fingerprint":"f","wall_us":5,"queue_us":0,"rows_out":1,"io":{"page_reads":0,"seq_reads":0,"rand_reads":0,"cache_hits":0,"page_writes":0}}`,
+		`{"v":99,"ts_us":2,"session":1,"sql":"FUTURE","fingerprint":"f","wall_us":5,"queue_us":0,"rows_out":1,"io":{"page_reads":0,"seq_reads":0,"rand_reads":0,"cache_hits":0,"page_writes":0}}`,
+		`{"v":1,"ts_us":3,"session":1,"sql":"SELECT 2","fingerprint":"f","wall_us":5,"queue_us":0,"rows_out":1,"io":{"page_reads":0,"seq_reads":0,"rand_reads":0,"cache_hits":0,"page_writes":0}}`,
+	}
+	if _, err := f.WriteString(strings.Join(lines, "\n") + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err = ReadWorkloadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].SQL != "SELECT 1" || recs[1].SQL != "SELECT 2" {
+		t.Fatalf("version skip broke: %+v", recs)
+	}
+}
+
+// TestWorkloadRingBounds proves the in-memory ring drops oldest records once
+// full and that recent(limit) returns the newest records oldest-first.
+func TestWorkloadRingBounds(t *testing.T) {
+	l := newWorkloadLog(4)
+	for i := 0; i < 10; i++ {
+		l.append(WorkloadRecord{V: WorkloadRecordVersion, TSMicros: int64(i)})
+	}
+	if l.count() != 10 {
+		t.Fatalf("count = %d, want 10", l.count())
+	}
+	recs := l.recent(0)
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := int64(6 + i); rec.TSMicros != want {
+			t.Fatalf("recent[%d].ts = %d, want %d", i, rec.TSMicros, want)
+		}
+	}
+	recs = l.recent(2)
+	if len(recs) != 2 || recs[0].TSMicros != 8 || recs[1].TSMicros != 9 {
+		t.Fatalf("recent(2) = %+v", recs)
+	}
+}

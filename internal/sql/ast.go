@@ -401,3 +401,20 @@ func (*DropTableStmt) stmtNode() {}
 
 // String implements Statement.
 func (d *DropTableStmt) String() string { return "DROP TABLE " + d.Name }
+
+// ExplainStmt explains a SELECT: plan text only, or — with Analyze — the plan
+// executed with tracing on, annotated with per-operator rows and wall time.
+type ExplainStmt struct {
+	Analyze bool
+	Query   *SelectStmt
+}
+
+func (*ExplainStmt) stmtNode() {}
+
+// String implements Statement.
+func (e *ExplainStmt) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Query.String()
+	}
+	return "EXPLAIN " + e.Query.String()
+}

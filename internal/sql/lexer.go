@@ -45,6 +45,7 @@ var keywords = map[string]bool{
 	"INTO": true, "VALUES": true, "ON": true, "INCLUDE": true, "PRIMARY": true,
 	"KEY": true, "DATE": true, "DROP": true, "DISTINCT": true, "OPTION": true,
 	"JOIN": true, "INNER": true, "CROSS": true, "TRUE": true, "FALSE": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // Lex tokenizes a SQL string. It returns an error for unterminated strings

@@ -100,9 +100,24 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case p.peek().Kind == TokKeyword && p.peek().Text == "DROP":
 		return p.parseDrop()
+	case p.peek().Kind == TokKeyword && p.peek().Text == "EXPLAIN":
+		return p.parseExplain()
 	default:
-		return nil, p.errorf("expected SELECT, CREATE, INSERT or DROP, found %q", p.peek().Text)
+		return nil, p.errorf("expected SELECT, CREATE, INSERT, DROP or EXPLAIN, found %q", p.peek().Text)
 	}
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <select>.
+func (p *Parser) parseExplain() (*ExplainStmt, error) {
+	if err := p.expect(TokKeyword, "EXPLAIN"); err != nil {
+		return nil, err
+	}
+	analyze := p.acceptKeyword("ANALYZE")
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{Analyze: analyze, Query: sel}, nil
 }
 
 func (p *Parser) parseSelect() (*SelectStmt, error) {

@@ -83,6 +83,9 @@ type Pager struct {
 	dirty map[PageID]struct{} // written since last checkpoint flush
 	free  []PageID            // freed page ids available for reuse
 	stmt  *stmtState          // active statement's undo capture, or nil
+	// corrupt counts page slots whose checksum failed verification at open
+	// (they were subsequently overwritten by WAL replay or recovery failed).
+	corrupt int64
 }
 
 // stmtState captures what a mutating statement needs for rollback: pre-images
@@ -138,7 +141,29 @@ func OpenPagerFile(fsys FS, name string, capacity int) (p *Pager, corrupt []Page
 	p.file = df
 	p.dirty = make(map[PageID]struct{})
 	p.stats.PagesAllocated = int64(len(pages))
+	p.corrupt = int64(len(corrupt))
 	return p, corrupt, nil
+}
+
+// CorruptPages returns the number of page slots that failed checksum
+// verification when the data file was opened (0 in memory mode). Non-zero
+// after successful recovery means the WAL replay repaired them.
+func (p *Pager) CorruptPages() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.corrupt
+}
+
+// Resident returns the number of pages currently resident in the buffer
+// pool: the LRU population for a bounded pool, every allocated page for an
+// unbounded one.
+func (p *Pager) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.capacity > 0 {
+		return p.lru.Len()
+	}
+	return len(p.pages)
 }
 
 // FileBacked reports whether the pager has a data file behind it.

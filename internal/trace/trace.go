@@ -1,0 +1,164 @@
+// Package trace is the per-query execution tracing substrate behind
+// EXPLAIN ANALYZE: a tree of Spans, one per physical operator, each
+// accumulating the rows and batches it emitted, the inclusive wall time
+// spent inside it, and operator-specific attributes (morsel and worker
+// counts for parallel operators, build-side cardinality for hash joins).
+//
+// Tracing is strictly opt-in and pay-for-use: a query that runs without
+// tracing builds no spans at all — the executor wraps operators with timing
+// collectors only when a trace is requested (exec.InstrumentPlan), so the
+// untraced hot path is unchanged down to the instruction level. Spans are
+// written by the single goroutine that drives the plan's root (parallel
+// operators report their worker/morsel structure as attributes instead of
+// being instrumented internally), so a Span needs no locking; a finished
+// trace is immutable and safe to share.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Attr is one operator-specific annotation on a span (e.g. workers=4,
+// build_rows=50000).
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// Span records the execution of one operator: identity, cardinality, timing
+// and structure. Wall time is inclusive — it covers the operator and
+// everything below it, the way EXPLAIN ANALYZE reports times in mainstream
+// engines — so a parent's Wall is always >= each child's.
+type Span struct {
+	// Name identifies the operator, e.g. "SeqScan(lineitem)" or "Sort".
+	Name string `json:"name"`
+	// Rows is the number of live rows the operator emitted.
+	Rows int64 `json:"rows"`
+	// Batches is the number of non-empty batches emitted (0 when the
+	// operator was driven row-at-a-time).
+	Batches int64 `json:"batches,omitempty"`
+	// Calls counts Next/NextBatch invocations, including the final
+	// end-of-input call.
+	Calls int64 `json:"calls,omitempty"`
+	// Wall is the inclusive wall time spent in Open/Next/NextBatch/Close.
+	Wall time.Duration `json:"wall_ns"`
+	// Attrs carries operator-specific counters.
+	Attrs []Attr `json:"attrs,omitempty"`
+	// Children are the operator's inputs, in plan order.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// New returns a root span with the given name.
+func New(name string) *Span { return &Span{Name: name} }
+
+// Child appends and returns a new child span.
+func (s *Span) Child(name string) *Span {
+	c := &Span{Name: name}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// SetAttr records (or overwrites) an operator-specific counter.
+func (s *Span) SetAttr(key string, val int64) {
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Val = val
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+}
+
+// Attr returns the value of an operator-specific counter.
+func (s *Span) Attr(key string) (int64, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return 0, false
+}
+
+// LeafRows sums the rows emitted by the tree's leaf spans — the rows that
+// entered the plan from storage. It is the "rows in" figure the workload log
+// records next to the result cardinality.
+func (s *Span) LeafRows() int64 {
+	if len(s.Children) == 0 {
+		return s.Rows
+	}
+	var total int64
+	for _, c := range s.Children {
+		total += c.LeafRows()
+	}
+	return total
+}
+
+// NumSpans counts the spans in the tree.
+func (s *Span) NumSpans() int {
+	n := 1
+	for _, c := range s.Children {
+		n += c.NumSpans()
+	}
+	return n
+}
+
+// line renders one span's annotation.
+func (s *Span) line() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	fmt.Fprintf(&b, " rows=%d", s.Rows)
+	if s.Batches > 0 {
+		fmt.Fprintf(&b, " batches=%d", s.Batches)
+	}
+	fmt.Fprintf(&b, " time=%s", s.Wall.Round(time.Microsecond))
+	for _, a := range s.Attrs {
+		fmt.Fprintf(&b, " %s=%d", a.Key, a.Val)
+	}
+	return b.String()
+}
+
+// Lines renders the tree as indented annotation lines, root first — the body
+// of EXPLAIN ANALYZE's output.
+func (s *Span) Lines() []string {
+	var out []string
+	var walk func(sp *Span, depth int)
+	walk = func(sp *Span, depth int) {
+		out = append(out, strings.Repeat("  ", depth)+sp.line())
+		for _, c := range sp.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(s, 0)
+	return out
+}
+
+// Format renders the tree as one indented multi-line string.
+func (s *Span) Format() string { return strings.Join(s.Lines(), "\n") }
+
+// Summary renders the tree as a compact single line — the form the slow-query
+// and workload logs attach to each entry:
+//
+//	Sort[rows=4 1.2ms](HashAggregate[rows=4 1.1ms](SeqScan(t)[rows=60000 0.9ms]))
+func (s *Span) Summary() string {
+	var b strings.Builder
+	s.summarize(&b)
+	return b.String()
+}
+
+func (s *Span) summarize(b *strings.Builder) {
+	b.WriteString(s.Name)
+	fmt.Fprintf(b, "[rows=%d %s]", s.Rows, s.Wall.Round(time.Microsecond))
+	if len(s.Children) == 0 {
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range s.Children {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		c.summarize(b)
+	}
+	b.WriteByte(')')
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTree assembles the span shape of a scan → filter → aggregate plan.
+func buildTree() *Span {
+	root := New("HashAggregate")
+	root.Rows = 9
+	root.Calls = 10
+	root.Wall = 3 * time.Millisecond
+	f := root.Child("Filter")
+	f.Rows = 500
+	f.Calls = 501
+	s := f.Child("SeqScan(items)")
+	s.Rows = 1000
+	s.Batches = 2
+	s.Calls = 3
+	s.Wall = time.Millisecond
+	s.SetAttr("morsels", 4)
+	return root
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	root := buildTree()
+	if got := root.NumSpans(); got != 3 {
+		t.Fatalf("NumSpans = %d, want 3", got)
+	}
+	// LeafRows sums leaves only: the scan's 1000 rows, not the interior ops.
+	if got := root.LeafRows(); got != 1000 {
+		t.Fatalf("LeafRows = %d, want 1000", got)
+	}
+	scan := root.Children[0].Children[0]
+	if v, ok := scan.Attr("morsels"); !ok || v != 4 {
+		t.Fatalf("Attr(morsels) = %d,%v, want 4,true", v, ok)
+	}
+	if _, ok := scan.Attr("absent"); ok {
+		t.Fatal("Attr on a missing key reported ok")
+	}
+}
+
+func TestTraceLinesIndentAndContent(t *testing.T) {
+	lines := buildTree().Lines()
+	if len(lines) != 3 {
+		t.Fatalf("Lines produced %d lines, want 3", len(lines))
+	}
+	for i, want := range []string{"HashAggregate", "Filter", "SeqScan(items)"} {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("line %d = %q, missing %q", i, lines[i], want)
+		}
+		// Each level indents deeper than its parent.
+		indent := len(lines[i]) - len(strings.TrimLeft(lines[i], " "))
+		if i > 0 {
+			prev := len(lines[i-1]) - len(strings.TrimLeft(lines[i-1], " "))
+			if indent <= prev {
+				t.Errorf("line %d indent %d not deeper than parent's %d", i, indent, prev)
+			}
+		}
+	}
+	if !strings.Contains(lines[0], "rows=9") || !strings.Contains(lines[2], "rows=1000") {
+		t.Errorf("row counts missing from lines:\n%s", strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[2], "morsels=4") {
+		t.Errorf("attrs missing from leaf line: %q", lines[2])
+	}
+}
+
+func TestTraceSummaryCompact(t *testing.T) {
+	sum := buildTree().Summary()
+	if strings.Contains(sum, "\n") {
+		t.Fatalf("Summary is multi-line: %q", sum)
+	}
+	for _, want := range []string{"HashAggregate", "Filter", "SeqScan(items)", "rows=1000"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary %q missing %q", sum, want)
+		}
+	}
+	// Nesting survives: the scan renders inside the filter's parentheses.
+	if strings.Index(sum, "Filter") > strings.Index(sum, "SeqScan") {
+		t.Errorf("Summary lost nesting order: %q", sum)
+	}
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	b, err := json.Marshal(buildTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"name", "rows", "wall_ns", "children"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("marshaled span missing %q: %s", key, b)
+		}
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSpans() != 3 || back.LeafRows() != 1000 {
+		t.Fatalf("round-trip lost structure: spans=%d leafRows=%d", back.NumSpans(), back.LeafRows())
+	}
+}

@@ -76,6 +76,9 @@ type Stats struct {
 	Syncs int64
 	// BytesWritten is the total log bytes written.
 	BytesWritten int64
+	// Aborts is the number of DiscardPending calls: commit batches dropped
+	// after a mid-statement failure instead of being made durable.
+	Aborts int64
 }
 
 // WAL is the write-ahead log of one engine instance.
@@ -367,6 +370,7 @@ func (w *WAL) SyncAll() error {
 func (w *WAL) DiscardPending() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.stats.Aborts++
 	w.pending = nil
 	w.pendingLSN = 0
 	w.discardedBelow = w.nextLSN - 1
